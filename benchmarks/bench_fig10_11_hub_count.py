@@ -1,0 +1,45 @@
+"""Figs. 10-11: the number-of-hubs sweep — online accuracy/time and
+offline space/time."""
+
+import pytest
+
+from benchmarks.common import BENCH_QUERIES, BENCH_SCALE, emit
+from repro import build_index, select_hubs
+from repro.experiments import dblp_graph, livejournal_graph, make_workload
+from repro.experiments.fig10_11_hubs import fig10_table, fig11_table, run_hub_sweep
+
+
+def _counts(base: int) -> list[int]:
+    return [max(5, int(base * BENCH_SCALE * f)) for f in (0.5, 1.0, 2.0, 4.0)]
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    runs = {}
+    for name, graph, base in (
+        ("DBLP", dblp_graph(scale=BENCH_SCALE).graph, 150),
+        ("LiveJournal", livejournal_graph(scale=BENCH_SCALE), 300),
+    ):
+        workload = make_workload(graph, num_queries=BENCH_QUERIES, seed=0)
+        runs[name] = (graph, run_hub_sweep(graph, workload, _counts(base)))
+    return runs
+
+
+def test_fig10_11_hub_count(benchmark, sweeps):
+    tables = []
+    for name, (graph, points) in sweeps.items():
+        tables.append(fig10_table(points, name))
+        tables.append(fig11_table(points, name))
+        # Shape assertions: query time decreases (or stays flat) with more
+        # hubs; accuracy stays robust (precision within 0.12 of the best).
+        times = [p.outcome.online_ms_per_query for p in points]
+        assert times[-1] <= times[0] * 1.25
+        precisions = [p.outcome.accuracy.precision for p in points]
+        assert min(precisions) >= max(precisions) - 0.12
+        del graph
+    emit("fig10_11_hub_count", *tables)
+
+    # Timing record: index build at the largest DBLP hub count.
+    graph = sweeps["DBLP"][0]
+    hubs = select_hubs(graph, _counts(150)[-1])
+    benchmark(lambda: build_index(graph, hubs))

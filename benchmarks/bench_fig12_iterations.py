@@ -1,0 +1,47 @@
+"""Fig. 12: incremental online processing — the eta sweep."""
+
+import pytest
+
+from benchmarks.common import BENCH_QUERIES, BENCH_SCALE, emit
+from repro import FastPPV, StopAfterIterations, build_index, select_hubs
+from repro.experiments import dblp_graph, livejournal_graph, make_workload
+from repro.experiments.fig12_iterations import fig12_table, run_iteration_sweep
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    runs = {}
+    for name, graph, num_hubs in (
+        ("DBLP", dblp_graph(scale=BENCH_SCALE).graph, max(20, int(150 * BENCH_SCALE))),
+        (
+            "LiveJournal",
+            livejournal_graph(scale=BENCH_SCALE),
+            max(40, int(300 * BENCH_SCALE)),
+        ),
+    ):
+        workload = make_workload(graph, num_queries=BENCH_QUERIES, seed=0)
+        hubs = select_hubs(graph, num_hubs)
+        index = build_index(graph, hubs)
+        points = run_iteration_sweep(graph, workload, index, etas=(0, 1, 2, 3))
+        runs[name] = (graph, index, points)
+    return runs
+
+
+def test_fig12_iterations(benchmark, sweeps):
+    tables = []
+    for name, (_, _, points) in sweeps.items():
+        tables.append(fig12_table(points, name))
+        # Shape assertions: accuracy improves monotonically with eta, and
+        # the biggest L1 gain comes from the earliest iteration.
+        sims = [p.outcome.accuracy.l1_similarity for p in points]
+        assert all(b >= a - 0.01 for a, b in zip(sims, sims[1:]))
+        gains = [b - a for a, b in zip(sims, sims[1:])]
+        if len(gains) >= 2 and gains[1] > 1e-3:
+            assert gains[0] >= gains[-1] - 0.01
+    emit("fig12_iterations", *tables)
+
+    # Timing record: one eta=2 query on LiveJournal.
+    graph, index, _ = sweeps["LiveJournal"]
+    engine = FastPPV(graph, index, online_epsilon=1e-6)
+    stop = StopAfterIterations(2)
+    benchmark(lambda: engine.query(13, stop=stop))

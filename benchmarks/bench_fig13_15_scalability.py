@@ -1,0 +1,74 @@
+"""Figs. 13-15: scalability — growth series, near-constant online time,
+linear offline cost."""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_SCALE, emit
+from repro.experiments import dblp_graph, livejournal_graph
+from repro.experiments.fig13_15_scalability import (
+    fig13_table,
+    fig14_table,
+    fig15_table,
+    run_sample_scalability,
+    run_snapshot_scalability,
+)
+from repro.graph.sampling import snapshot
+
+
+@pytest.fixture(scope="module")
+def scalability():
+    bib = dblp_graph(scale=BENCH_SCALE)
+    snapshots = run_snapshot_scalability(
+        bib, years=(1998, 2002, 2006, 2010), num_queries=15
+    )
+    social = livejournal_graph(scale=BENCH_SCALE)
+    samples = run_sample_scalability(
+        social, fractions=(0.25, 0.5, 0.75, 1.0), num_queries=15
+    )
+    return bib, snapshots, samples
+
+
+def test_fig13_15_scalability(benchmark, scalability):
+    bib, snapshots, samples = scalability
+    emit(
+        "fig13_15_scalability",
+        fig13_table(snapshots, "DBLP"),
+        fig14_table(snapshots, "DBLP"),
+        fig15_table(snapshots, "DBLP"),
+        fig13_table(samples, "LiveJournal"),
+        fig14_table(samples, "LiveJournal"),
+        fig15_table(samples, "LiveJournal"),
+    )
+
+    for points in (snapshots, samples):
+        sizes = [p.num_nodes + p.num_edges for p in points]
+        assert sizes == sorted(sizes)  # the series grows
+        # Near-constant online time once past the smallest (noise-prone)
+        # graph: the later points stay within a 3x band of one another
+        # while graph size grows ~4x (paper: flat).
+        times = [p.outcome.online_ms_per_query for p in points[1:]]
+        assert max(times) <= min(times) * 3.0
+        # Offline cost grows at most ~linearly in graph size: time per
+        # size unit must not inflate by more than 2.5x from the second
+        # point on (the sparsest sample is fragmented and degenerate).
+        per_unit = [
+            p.offline.build_seconds / (p.num_nodes + p.num_edges) for p in points
+        ]
+        assert per_unit[-1] <= per_unit[1] * 2.5 + 1e-9
+        # Accuracy stays robust across the series.
+        precisions = [p.outcome.accuracy.precision for p in points]
+        assert min(precisions) >= max(precisions) - 0.15
+
+    # Check the offline-space linearity numerically (correlation of space
+    # with size across both series).
+    sizes = np.array(
+        [p.num_nodes + p.num_edges for p in snapshots + samples], dtype=float
+    )
+    spaces = np.array(
+        [p.offline.megabytes for p in snapshots + samples], dtype=float
+    )
+    assert np.corrcoef(sizes, spaces)[0, 1] > 0.7
+
+    # Timing record: cutting the largest snapshot.
+    benchmark(lambda: snapshot(bib, 2010))

@@ -1,0 +1,65 @@
+"""Fig. 16: disk-based online query processing — cluster-count sweep."""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_SCALE, emit
+from repro import build_index, select_hubs
+from repro.experiments import livejournal_graph
+from repro.experiments.fig16_disk import (
+    budget_table,
+    fig16_table,
+    run_budget_sweep,
+    run_disk_sweep,
+)
+from repro.storage.clustering import cluster_graph
+
+
+@pytest.fixture(scope="module")
+def disk_sweep(tmp_path_factory):
+    graph = livejournal_graph(scale=BENCH_SCALE)
+    hubs = select_hubs(graph, max(40, int(300 * BENCH_SCALE)))
+    index = build_index(graph, hubs)
+    rng = np.random.default_rng(0)
+    queries = rng.choice(graph.num_nodes, size=15, replace=False).tolist()
+    points = run_disk_sweep(
+        graph,
+        index,
+        cluster_counts=(10, 15, 25, 35, 50),
+        queries=queries,
+        workdir=str(tmp_path_factory.mktemp("fig16")),
+    )
+    budget_points = run_budget_sweep(
+        graph,
+        index,
+        num_clusters=25,
+        budgets=(1, 2, 4, 8),
+        queries=queries,
+        workdir=str(tmp_path_factory.mktemp("fig16_budget")),
+    )
+    return graph, points, budget_points
+
+
+def test_fig16_disk(benchmark, disk_sweep):
+    graph, points, budget_points = disk_sweep
+    emit(
+        "fig16_disk",
+        fig16_table(points, "LiveJournal"),
+        budget_table(budget_points, "LiveJournal"),
+    )
+
+    # Ablation shape: more resident clusters never increases faults.
+    budget_faults = [p.faults_per_query for p in budget_points]
+    assert all(b <= a + 1e-9 for a, b in zip(budget_faults, budget_faults[1:]))
+
+    # Shape assertions (Sect. 6.4.2): faults grow with cluster count,
+    # memory need shrinks, query time stays within a stable band.
+    faults = [p.faults_per_query for p in points]
+    assert faults == sorted(faults)
+    memory = [p.memory_need for p in points]
+    assert memory[-1] < memory[0]
+    times = [p.ms_per_query for p in points]
+    assert max(times) <= min(times) * 4.0
+
+    # Timing record: clustering the graph into 25 parts.
+    benchmark(lambda: cluster_graph(graph, 25, seed=1))

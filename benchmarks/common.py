@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Every bench both *prints* its paper-shaped table (visible with ``-s`` or
+in the pytest summary on failure) and *saves* it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote the latest run.
+
+``BENCH_SCALE`` (env var ``REPRO_BENCH_SCALE``, default 0.4) scales the
+evaluation graphs; 1.0 reproduces the sizes quoted in DESIGN.md at the
+cost of a few extra minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.report import Table
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, *tables: Table) -> None:
+    """Print tables and persist them to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rendered = "\n\n".join(table.render() for table in tables)
+    print("\n" + rendered)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")

@@ -1,0 +1,47 @@
+"""Certified top-k: stop as soon as the answer set is provably exact.
+
+Because FastPPV under-approximates with a known missing-mass budget
+(Eq. 6), the current top-k set is provably the exact top-k once the gap
+between the k-th and (k+1)-th estimates exceeds the remaining error.
+This usually happens after far fewer iterations than a tight accuracy
+target needs — the bound-based top-K idea of the paper's related work,
+realised on scheduled approximation.
+
+Run with:  python examples/certified_topk.py
+"""
+
+from repro import FastPPV, build_index, exact_ppv, query_top_k, select_hubs, social_graph
+from repro.metrics import top_k_nodes
+
+
+def main() -> None:
+    graph = social_graph(num_nodes=1500, seed=12)
+    hubs = select_hubs(graph, num_hubs=100)
+    # clip=0 keeps the full prime PPVs: stored-entry clipping would floor
+    # the reachable L1 error and block tight certificates.
+    index = build_index(graph, hubs, clip=0.0)
+    engine = FastPPV(graph, index, delta=0.0)  # delta=0: sound certificate
+
+    k = 5
+    print(f"{'query':>7} {'k':>3} {'iters':>6} {'L1 err at stop':>15} {'certified':>10} {'matches exact':>14}")
+    for query in (100, 901, 777, 1250):
+        result = query_top_k(engine, query, k=k, max_iterations=60)
+        exact = exact_ppv(graph, query)
+        matches = set(result.nodes.tolist()) == set(
+            top_k_nodes(exact, k).tolist()
+        )
+        print(
+            f"{query:>7} {k:>3} {result.iterations:>6} "
+            f"{result.l1_error:>15.4f} {str(result.certified):>10} "
+            f"{str(matches):>14}"
+        )
+
+    print(
+        "\nNote the L1 error at stop: the certificate fires while the "
+        "estimate is still far from converged — ranking needs far less "
+        "work than scoring."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Scheduled approximation beyond PPV: discounted hitting probability.
+
+The paper's future work #3 proposes carrying the partition-and-prioritise
+principle to other random-walk measures.  This example estimates the
+discounted hitting probability f_p(q) = E[beta^tau] (tau = first-hit
+time of p from q) with the same hub-length schedule: level 0 covers
+hub-free first-passage walks, each further level splices hub segments,
+and the bracket [value, value + remaining_mass] is known at every level.
+
+Run with:  python examples/hitting_time.py
+"""
+
+import numpy as np
+
+from repro import select_hubs, social_graph
+from repro.core.hitting import exact_hitting, scheduled_hitting
+
+
+def main() -> None:
+    graph = social_graph(num_nodes=800, seed=6)
+    hubs = select_hubs(graph, 60)
+    hub_mask = np.zeros(graph.num_nodes, dtype=bool)
+    hub_mask[hubs] = True
+
+    # A nearby target so first-passage probabilities are non-trivial.
+    query = 17
+    target = int(graph.out_neighbors(int(graph.out_neighbors(query)[0]))[0])
+    exact = exact_hitting(graph, query, target, beta=0.85)
+    print(f"exact discounted hitting probability f_{target}({query}) = {exact:.6f}\n")
+
+    print(f"{'levels':>7} {'lower bound':>12} {'upper bound':>12} {'bracket width':>14}")
+    for levels in range(0, 7):
+        estimate = scheduled_hitting(
+            graph, query, target, hub_mask, beta=0.85,
+            max_levels=levels, epsilon=1e-10,
+        )
+        upper = estimate.value + estimate.remaining_mass
+        print(
+            f"{levels:>7} {estimate.value:>12.6f} {upper:>12.6f} "
+            f"{upper - estimate.value:>14.6f}"
+        )
+
+    print(
+        "\nthe bracket always contains the exact value and narrows "
+        "geometrically — the PPV accuracy-awareness, transferred."
+    )
+
+
+if __name__ == "__main__":
+    main()

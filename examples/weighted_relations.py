@@ -1,0 +1,63 @@
+"""Weighted graphs: ObjectRank-style typed relationships.
+
+The paper's framework "works for a general graph"; in database search
+(ObjectRank [4]) edges carry authority-transfer weights — e.g. a paper
+passes more authority to its authors than to its venue.  Edge weights
+flow through one place (``DiGraph.edge_probabilities``), so the whole
+stack — exact solvers, the FastPPV index, baselines — works unchanged.
+
+Run with:  python examples/weighted_relations.py
+"""
+
+import numpy as np
+
+from repro import FastPPV, StopAfterIterations, build_index, select_hubs
+from repro.graph import GraphBuilder
+from repro.graph.generators import bibliographic_graph
+
+
+def main() -> None:
+    bib = bibliographic_graph(
+        num_authors=800, num_papers=1600, num_venues=30, seed=33
+    )
+    unweighted = bib.graph
+
+    # Re-weight the same topology: paper->author edges carry 4x the
+    # authority of paper->venue edges (and symmetrically back).
+    builder = GraphBuilder(num_nodes=unweighted.num_nodes)
+    for src in range(unweighted.num_nodes):
+        for dst in unweighted.out_neighbors(src):
+            dst = int(dst)
+            kinds = {bib.node_kind(src), bib.node_kind(dst)}
+            weight = 4.0 if kinds == {"paper", "author"} else 1.0
+            builder.add_edge(src, dst, weight)
+    weighted = builder.build()
+    print(f"weighted bibliographic network: {weighted} "
+          f"(weighted={weighted.is_weighted})")
+
+    def engine_for(graph):
+        hubs = select_hubs(graph, 100)
+        return FastPPV(graph, build_index(graph, hubs))
+
+    paper = bib.paper_node(77)
+    plain = engine_for(unweighted).query(paper, stop=StopAfterIterations(3))
+    boosted = engine_for(weighted).query(paper, stop=StopAfterIterations(3))
+
+    def author_mass(scores: np.ndarray) -> float:
+        return float(scores[: bib.num_authors].sum())
+
+    print(f"\nquery: paper node {paper}")
+    print(f"author share of PPV mass, unweighted: {author_mass(plain.scores):.3f}")
+    print(f"author share of PPV mass, weighted:   {author_mass(boosted.scores):.3f}")
+    print("(the 4x paper->author transfer shifts ranking mass to authors)")
+
+    print("\ntop 8 nodes, weighted engine:")
+    for rank, node in enumerate(boosted.top_k(8), start=1):
+        print(
+            f"  {rank}. {bib.node_kind(int(node)):>6} {int(node):5d} "
+            f"score {boosted.scores[node]:.5f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Baseline PPV methods the paper compares against (Sect. 6, "Baselines").
+
+* :class:`~repro.baselines.hubrank.HubRankP` — the strongest
+  reuse-computation baseline (Chakrabarti et al. [7]): bookmark-coloring
+  forward push with full hub PPVs precomputed offline and spliced online,
+  hubs chosen by a benefit model under a uniform query log.
+* :class:`~repro.baselines.montecarlo.MonteCarlo` — the fingerprint method
+  of Fogaras et al. [8]: offline fingerprint endpoints for hub nodes,
+  online walks that terminate early by sampling a hub fingerprint.
+
+Both expose ``query(node) -> BaselineResult`` and an ``offline_stats``
+attribute mirroring :class:`repro.core.index.IndexStats`, so the
+experiment harness can drive all three methods uniformly.
+"""
+
+from repro.baselines.hubrank import HubRankP
+from repro.baselines.montecarlo import MonteCarlo
+from repro.baselines.push import forward_push
+from repro.baselines.result import BaselineResult
+
+__all__ = ["forward_push", "HubRankP", "MonteCarlo", "BaselineResult"]

@@ -1,0 +1,178 @@
+"""MonteCarlo baseline: fingerprint sampling (Fogaras et al. [8]).
+
+A *fingerprint* is the endpoint of one random walk whose length is
+geometric with parameter ``alpha`` — the distribution of endpoints *is*
+the PPV.  The paper's adaptation (Sect. 6, "Baselines"):
+
+* **Offline**: sample ``samples_per_hub`` fingerprints for each hub node
+  (hubs = highest global PageRank, the common strategy of [12, 5]).
+* **Online**: run ``samples_per_query`` walks from the query.  Whenever a
+  walk *steps onto* a hub, it terminates immediately by drawing one of the
+  hub's precomputed endpoints uniformly — valid because the walk is
+  memoryless: the endpoint of a fresh walk started at the hub has exactly
+  the distribution of the remaining walk.
+
+The estimate is the empirical endpoint distribution.  Accuracy grows with
+``samples_per_query`` (the ``N`` knob of Fig. 5); cost grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.result import BaselineResult
+from repro.core.index import IndexStats
+from repro.graph.digraph import DiGraph
+from repro.graph.pagerank import DEFAULT_ALPHA, global_pagerank
+
+
+class MonteCarlo:
+    """Fingerprint-based PPV engine.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    num_hubs:
+        Number of hub nodes to fingerprint offline (0 disables reuse; the
+        engine then degenerates to plain online sampling).
+    samples_per_query:
+        Walks per online query (``N`` in Fig. 5).
+    samples_per_hub:
+        Offline fingerprints per hub; defaults to ``samples_per_query``.
+    alpha:
+        Teleport probability.
+    seed:
+        Seed for both the offline and the online random streams.  Online
+        queries draw from a generator re-seeded per query with
+        ``(seed, query)`` so results are reproducible query-by-query.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_hubs: int,
+        samples_per_query: int,
+        samples_per_hub: int | None = None,
+        alpha: float = DEFAULT_ALPHA,
+        seed: int = 0,
+        pagerank: np.ndarray | None = None,
+    ) -> None:
+        if samples_per_query <= 0:
+            raise ValueError("samples_per_query must be positive")
+        self.graph = graph
+        self.alpha = alpha
+        self.samples_per_query = samples_per_query
+        self.samples_per_hub = (
+            samples_per_hub if samples_per_hub is not None else samples_per_query
+        )
+        self.seed = seed
+        self.offline_stats = IndexStats()
+        self._fingerprints: dict[int, np.ndarray] = {}
+        # Weighted graphs sample edges by cumulative step probability;
+        # unweighted graphs use the cheaper uniform integer draw.
+        self._cumulative = (
+            np.cumsum(graph.edge_probabilities) if graph.is_weighted else None
+        )
+        self._precompute(num_hubs, pagerank)
+
+    # ------------------------------------------------------------------ #
+
+    def _walk_endpoint(
+        self,
+        start: int,
+        rng: np.random.Generator,
+        splice: bool,
+    ) -> tuple[int, int]:
+        """One fingerprint walk; returns ``(endpoint, steps)``.
+
+        The endpoint is -1 when the walk dies at a dangling node.
+        ``splice`` enables hub-fingerprint reuse (online mode); offline
+        sampling keeps walking so hub fingerprints are unbiased and
+        independent of hub computation order.
+        """
+        indptr, indices = self.graph.indptr, self.graph.indices
+        node = start
+        steps = 0
+        while True:
+            if rng.random() < self.alpha:
+                return node, steps
+            start_edge, end_edge = indptr[node], indptr[node + 1]
+            if start_edge == end_edge:
+                return -1, steps  # dangling: the walk dies (tour semantics)
+            if self._cumulative is None:
+                edge = start_edge + rng.integers(end_edge - start_edge)
+            else:
+                base = self._cumulative[start_edge - 1] if start_edge else 0.0
+                total = self._cumulative[end_edge - 1] - base
+                edge = start_edge + int(
+                    np.searchsorted(
+                        self._cumulative[start_edge:end_edge],
+                        base + rng.random() * total,
+                        side="right",
+                    )
+                )
+                edge = min(edge, end_edge - 1)
+            node = int(indices[edge])
+            steps += 1
+            if splice and node in self._fingerprints:
+                endpoints = self._fingerprints[node]
+                return int(endpoints[rng.integers(endpoints.size)]), steps
+
+    def _precompute(self, num_hubs: int, pagerank: np.ndarray | None) -> None:
+        started = time.perf_counter()
+        num_hubs = min(num_hubs, self.graph.num_nodes)
+        if num_hubs > 0:
+            if pagerank is None:
+                pagerank = global_pagerank(self.graph, alpha=self.alpha)
+            order = np.lexsort((np.arange(self.graph.num_nodes), -pagerank))
+            hubs = np.sort(order[:num_hubs])
+            rng = np.random.default_rng(self.seed)
+            for hub in hubs:
+                endpoints = np.fromiter(
+                    (
+                        self._walk_endpoint(int(hub), rng, splice=False)[0]
+                        for _ in range(self.samples_per_hub)
+                    ),
+                    dtype=np.int64,
+                    count=self.samples_per_hub,
+                )
+                endpoints = endpoints[endpoints >= 0]
+                if endpoints.size == 0:
+                    # All walks died; keep an empty array out of the cache
+                    # so online walks fall back to plain stepping.
+                    continue
+                self._fingerprints[int(hub)] = endpoints
+                self.offline_stats.stored_entries += endpoints.size
+                self.offline_stats.stored_bytes += endpoints.nbytes
+        self.offline_stats.num_hubs = len(self._fingerprints)
+        self.offline_stats.build_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hubs(self) -> np.ndarray:
+        """Sorted ids of the fingerprinted hubs."""
+        return np.asarray(sorted(self._fingerprints), dtype=np.int64)
+
+    def query(self, query: int) -> BaselineResult:
+        """Estimate the PPV of ``query`` from ``samples_per_query`` walks."""
+        if not 0 <= query < self.graph.num_nodes:
+            raise ValueError(f"query node {query} out of range")
+        started = time.perf_counter()
+        rng = np.random.default_rng((self.seed, query))
+        counts = np.zeros(self.graph.num_nodes)
+        total_steps = 0
+        for _ in range(self.samples_per_query):
+            endpoint, steps = self._walk_endpoint(query, rng, splice=True)
+            total_steps += steps
+            if endpoint >= 0:
+                counts[endpoint] += 1.0
+        return BaselineResult(
+            query=query,
+            scores=counts / self.samples_per_query,
+            seconds=time.perf_counter() - started,
+            work_units=total_steps,
+        )

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Five subcommands cover the offline/online lifecycle end to end::
+
+    repro-fastppv generate social --nodes 5000 --out graph.txt
+    repro-fastppv info graph.txt
+    repro-fastppv index graph.txt --hubs 300 --out graph.fppv
+    repro-fastppv query graph.txt graph.fppv 42 --top 10 --eta 2
+    repro-fastppv autotune graph.txt
+
+Graphs travel as whitespace edge lists (the SNAP convention), indexes as
+the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.autotune import autotune_hub_count
+from repro.core.hubs import HubPolicy, select_hubs
+from repro.core.index import build_index
+from repro.core.query import (
+    FastPPV,
+    StopAfterIterations,
+    StopAfterTime,
+    StopAtL1Error,
+    any_of,
+)
+from repro.graph.analysis import graph_stats
+from repro.graph.generators import bibliographic_graph, erdos_renyi_graph, social_graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.storage.ppv_store import load_index, save_index
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="generate a synthetic graph and write an edge list"
+    )
+    parser.add_argument(
+        "kind", choices=["social", "bibliographic", "erdos-renyi"]
+    )
+    parser.add_argument("--nodes", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, help="output edge-list path")
+    parser.set_defaults(func=_cmd_generate)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "social":
+        graph = social_graph(num_nodes=args.nodes, seed=args.seed)
+    elif args.kind == "bibliographic":
+        # Nodes split ~1:2 authors:papers with venues at ~1%.
+        authors = max(2, args.nodes // 3)
+        papers = max(2, 2 * args.nodes // 3)
+        venues = max(2, args.nodes // 100)
+        graph = bibliographic_graph(
+            num_authors=authors, num_papers=papers, num_venues=venues,
+            seed=args.seed,
+        ).graph
+    else:
+        graph = erdos_renyi_graph(args.nodes, 4.0 / args.nodes, seed=args.seed)
+    write_edge_list(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.out}")
+    return 0
+
+
+def _add_info(subparsers) -> None:
+    parser = subparsers.add_parser("info", help="print graph statistics")
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_info)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    for name, value in graph_stats(graph).as_dict().items():
+        print(f"{name:>28}: {value}")
+    return 0
+
+
+def _add_index(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "index", help="select hubs and precompute the PPV index"
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("--hubs", type=int, required=True)
+    parser.add_argument(
+        "--policy",
+        choices=[p.value for p in HubPolicy],
+        default=HubPolicy.EXPECTED_UTILITY.value,
+    )
+    parser.add_argument("--alpha", type=float, default=0.15)
+    parser.add_argument("--epsilon", type=float, default=1e-8)
+    parser.add_argument("--clip", type=float, default=1e-4)
+    parser.add_argument("--undirected", action="store_true")
+    parser.add_argument("--out", required=True, help="output .fppv path")
+    parser.set_defaults(func=_cmd_index)
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    hubs = select_hubs(
+        graph, args.hubs, policy=HubPolicy(args.policy), alpha=args.alpha
+    )
+    index = build_index(
+        graph, hubs, alpha=args.alpha, epsilon=args.epsilon, clip=args.clip
+    )
+    written = save_index(index, args.out)
+    print(
+        f"indexed {index.num_hubs} hubs "
+        f"({index.stats.stored_entries} entries, {written / 1e6:.2f} MB on disk) "
+        f"in {index.stats.build_seconds:.2f}s -> {args.out}"
+    )
+    return 0
+
+
+def _add_query(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "query", help="run an incremental PPV query against an index"
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("index", help=".fppv index path")
+    parser.add_argument("node", type=int)
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--eta", type=int, default=2, help="iteration budget")
+    parser.add_argument(
+        "--target-error", type=float, default=None,
+        help="stop early once the L1 error is below this",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None,
+        help="stop after this many seconds",
+    )
+    parser.add_argument("--delta", type=float, default=0.005)
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_query)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    index = load_index(args.index)
+    if index.hub_mask.size != graph.num_nodes:
+        print(
+            f"error: index covers {index.hub_mask.size} nodes but the graph "
+            f"has {graph.num_nodes}",
+            file=sys.stderr,
+        )
+        return 2
+    engine = FastPPV(graph, index, delta=args.delta)
+    conditions = [StopAfterIterations(args.eta)]
+    if args.target_error is not None:
+        conditions.append(StopAtL1Error(args.target_error))
+    if args.time_limit is not None:
+        conditions.append(StopAfterTime(args.time_limit))
+    result = engine.query(args.node, stop=any_of(*conditions))
+    print(
+        f"query {args.node}: {result.iterations} iterations, "
+        f"L1 error {result.l1_error:.4f}, {result.seconds * 1000:.1f} ms"
+    )
+    for rank, node in enumerate(result.top_k(args.top), start=1):
+        print(f"{rank:4d}. node {int(node):8d}  score {result.scores[node]:.6f}")
+    return 0
+
+
+def _add_autotune(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "autotune", help="probe hub counts and recommend one"
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("--queries", type=int, default=15)
+    parser.add_argument("--space-budget-mb", type=float, default=None)
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_autotune)
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    result = autotune_hub_count(
+        graph,
+        num_probe_queries=args.queries,
+        space_budget_mb=args.space_budget_mb,
+    )
+    print(f"{'|H|':>8} {'work/query':>12} {'L1 error':>10} {'index MB':>10}")
+    for probe in result.probes:
+        marker = " <== best" if probe.num_hubs == result.best_num_hubs else ""
+        print(
+            f"{probe.num_hubs:>8} {probe.mean_work:>12.0f} "
+            f"{probe.mean_l1_error:>10.4f} {probe.index_megabytes:>10.2f}"
+            f"{marker}"
+        )
+    print(f"recommended number of hubs: {result.best_num_hubs}")
+    return 0
+
+
+def _add_validate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "validate", help="check an index's invariants against its graph"
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("index", help=".fppv index path")
+    parser.add_argument(
+        "--sample", type=int, default=8,
+        help="hub entries to recompute against the graph",
+    )
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_validate)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import (
+        validate_index_against_graph,
+        validate_index_structure,
+    )
+
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    index = load_index(args.index)
+    report = validate_index_structure(index).merged(
+        validate_index_against_graph(index, graph, sample=args.sample)
+    )
+    print(f"ran {report.checks} checks")
+    if report.ok:
+        print("index OK")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fastppv",
+        description="FastPPV: incremental, accuracy-aware Personalized PageRank",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_info(subparsers)
+    _add_index(subparsers)
+    _add_query(subparsers)
+    _add_autotune(subparsers)
+    _add_validate(subparsers)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Core FastPPV: scheduled approximation of Personalized PageRank.
+
+Public surface:
+
+* :func:`~repro.core.exact.exact_ppv` — ground-truth PPV (power iteration).
+* :func:`~repro.core.hubs.select_hubs` — hub selection (expected utility and
+  alternative policies, Sect. 4 / Sect. 6.2).
+* :class:`~repro.core.index.PPVIndex` / :func:`~repro.core.index.build_index`
+  — offline precomputation of prime PPVs (Algorithm 1).
+* :class:`~repro.core.query.FastPPV` — incremental, accuracy-aware online
+  query engine (Algorithm 2), with stopping conditions from
+  :mod:`repro.core.query`.
+* :mod:`repro.core.errors` — the Theorem 2 error bound and query-time L1
+  error.
+* :mod:`repro.core.linearity` — multi-node queries via the Linearity
+  Theorem.
+* Extensions: :mod:`repro.core.dynamic` (incremental graph updates),
+  :mod:`repro.core.autotune` (hub-count auto-configuration),
+  :mod:`repro.core.hitting` (scheduled approximation of hitting time).
+"""
+
+from repro.core.autotune import AutotuneResult, autotune_hub_count
+from repro.core.dynamic import add_edges, remove_edges, update_index
+from repro.core.errors import l1_error_bound, query_time_l1_error
+from repro.core.exact import exact_ppv, exact_ppv_matrix
+from repro.core.hitting import exact_hitting, scheduled_hitting
+from repro.core.hubs import HubPolicy, select_hubs
+from repro.core.index import PPVIndex, build_index
+from repro.core.linearity import multi_node_ppv
+from repro.core.prime import PrimePPV, prime_ppv, prime_subgraph_nodes
+from repro.core.query import (
+    FastPPV,
+    QueryResult,
+    StopAfterIterations,
+    StopAfterTime,
+    StopAtL1Error,
+    any_of,
+)
+from repro.core.topk import TopKResult, query_top_k
+
+__all__ = [
+    "exact_ppv",
+    "exact_ppv_matrix",
+    "HubPolicy",
+    "select_hubs",
+    "PrimePPV",
+    "prime_ppv",
+    "prime_subgraph_nodes",
+    "PPVIndex",
+    "build_index",
+    "FastPPV",
+    "QueryResult",
+    "StopAfterIterations",
+    "StopAtL1Error",
+    "StopAfterTime",
+    "any_of",
+    "l1_error_bound",
+    "query_time_l1_error",
+    "multi_node_ppv",
+    "query_top_k",
+    "TopKResult",
+    "add_edges",
+    "remove_edges",
+    "update_index",
+    "autotune_hub_count",
+    "AutotuneResult",
+    "exact_hitting",
+    "scheduled_hitting",
+]

@@ -1,0 +1,234 @@
+"""Prime subgraphs and prime PPVs (Definition 2, Algorithm 1's inner step).
+
+The prime PPV of a node ``v`` aggregates the reachability of exactly the
+tours in ``T^0(v)`` — tours from ``v`` that pass through *no interior hub*.
+The paper extracts the prime subgraph by depth-first search (backtracking
+at hub nodes and at nodes whose reachability falls below ``epsilon``) and
+runs power iteration on it.  We compute the identical quantity directly
+with a level-synchronous *push*: probability mass starts at ``v`` and flows
+along out-edges; a hub absorbs any mass that arrives (it is a *border* of
+the prime subgraph), every other node keeps ``alpha`` of the arriving mass
+as score and forwards the rest; mass below ``epsilon`` is scored but not
+forwarded (the "faraway node" cut-off).
+
+Beyond the score vector the push also yields the **border arrival masses**
+— for each border hub ``h``, the total probability of walking from ``v`` to
+``h`` without stopping and without crossing another hub.  These are the
+quantities the online engine splices in Theorem 4: extending a partition by
+one hub multiplies the *arrival* mass (not the score, which already
+includes the ``alpha`` stop factor) into the hub's own prime PPV.  Keeping
+arrival masses explicit also fixes a subtle double-count in Eq. 12 as
+printed: a tour that *ends* at a hub must not be re-counted through the
+zero-length "trivial tour" inside ``r^0_h(h)``; arrival masses exclude it
+by construction (the initial unit of mass at the push source is expanded,
+never recorded as an arrival).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.pagerank import DEFAULT_ALPHA
+
+DEFAULT_EPSILON = 1e-8
+"""Reachability cut-off for prime-subgraph exploration (Sect. 5.1)."""
+
+
+@dataclass(frozen=True)
+class PrimePPV:
+    """Sparse prime PPV of one source node.
+
+    Attributes
+    ----------
+    source:
+        The node the tours start from.
+    nodes:
+        Sorted node ids with non-zero score (the prime subgraph, borders
+        included).
+    scores:
+        Scores aligned with ``nodes``; entry for node ``p`` is
+        ``r^0_source(p)``, the summed reachability of hub-interior-free
+        tours from ``source`` to ``p``.
+    border_hubs:
+        Sorted hub ids reachable without crossing another hub —
+        ``H'(source)``, the neighbouring hubs of Definition 2.
+    border_masses:
+        Arrival masses aligned with ``border_hubs``: the probability of a
+        non-stopping, hub-interior-free walk from ``source`` ending its
+        segment at that hub.  ``score_at_hub = alpha * border_mass`` plus
+        nothing else, except when ``source`` itself is the hub.
+    edges_touched:
+        Edge traversals the push performed — the scale-independent work
+        measure reported alongside wall-clock time in the benchmarks.
+    """
+
+    source: int
+    nodes: np.ndarray
+    scores: np.ndarray
+    border_hubs: np.ndarray
+    border_masses: np.ndarray
+    edges_touched: int = 0
+
+    def to_dense(self, num_nodes: int) -> np.ndarray:
+        """Dense score vector of length ``num_nodes``."""
+        dense = np.zeros(num_nodes)
+        dense[self.nodes] = self.scores
+        return dense
+
+    def score_of(self, node: int) -> float:
+        """Score of one node (0.0 if outside the support)."""
+        position = np.searchsorted(self.nodes, node)
+        if position < self.nodes.size and self.nodes[position] == node:
+            return float(self.scores[position])
+        return 0.0
+
+    @property
+    def mass(self) -> float:
+        """Total scored probability mass (L1 norm of the vector)."""
+        return float(self.scores.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint."""
+        return (
+            self.nodes.nbytes
+            + self.scores.nbytes
+            + self.border_hubs.nbytes
+            + self.border_masses.nbytes
+        )
+
+
+def _max_rounds(alpha: float, epsilon: float) -> int:
+    """Rounds after which all residual mass is provably below ``epsilon``.
+
+    Total residual after ``k`` rounds is at most ``(1 - alpha)^k``, so
+    ``k = log(epsilon) / log(1 - alpha)`` bounds the level-synchronous push.
+    """
+    if epsilon <= 0.0:
+        raise ValueError("epsilon must be positive")
+    return max(4, int(math.ceil(math.log(epsilon) / math.log(1.0 - alpha))) + 4)
+
+
+def prime_ppv(
+    graph: DiGraph,
+    source: int,
+    hub_mask: np.ndarray,
+    alpha: float = DEFAULT_ALPHA,
+    epsilon: float = DEFAULT_EPSILON,
+) -> PrimePPV:
+    """Compute the prime PPV of ``source`` by level-synchronous push.
+
+    Parameters
+    ----------
+    graph:
+        The full graph (the prime subgraph is discovered on the fly).
+    source:
+        Start node.  May itself be a hub: the *initial* unit of mass is
+        always expanded (a tour's starting position never counts towards
+        hub length), but mass that cycles back is absorbed like at any
+        other hub.
+    hub_mask:
+        Boolean array of length ``n`` marking hub nodes.
+    alpha:
+        Teleport probability.
+    epsilon:
+        Expansion cut-off: arriving mass below this is scored but not
+        forwarded.
+
+    Notes
+    -----
+    Work per round is linear in the touched edges; the number of rounds is
+    bounded by ``log(epsilon) / log(1 - alpha)``.  The computation is exact
+    up to the ``epsilon`` truncation (identical in kind to the paper's DFS
+    cut-off).
+    """
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source node {source} out of range")
+    if hub_mask.shape != (n,):
+        raise ValueError("hub_mask must have one entry per node")
+    indptr, indices = graph.indptr, graph.indices
+    out_degrees = graph.out_degrees
+    edge_probabilities = graph.edge_probabilities
+
+    scores = np.zeros(n)
+    border = np.zeros(n)
+    touched: list[np.ndarray] = []
+    # Residual kept sparse as (unique sorted nodes, masses) — the frontier
+    # is tiny compared to the graph, so per-round work stays local.
+    active = np.array([source], dtype=np.int64)
+    masses = np.array([1.0])
+    first_round = True
+    edges_touched = 0
+
+    for _ in range(_max_rounds(alpha, epsilon)):
+        scores[active] += alpha * masses
+        touched.append(active)
+
+        absorbed = hub_mask[active]
+        if first_round:
+            # The initial unit at the source always expands.
+            absorbed = absorbed & (active != source)
+        border[active[absorbed]] += masses[absorbed]
+
+        expand = ~absorbed & (masses >= epsilon) & (out_degrees[active] > 0)
+        expand_nodes = active[expand]
+        expand_masses = masses[expand]
+        first_round = False
+        if expand_nodes.size == 0:
+            break
+
+        counts = out_degrees[expand_nodes]
+        starts = indptr[expand_nodes]
+        total = int(counts.sum())
+        edges_touched += total
+        # Gather all out-edges of the expanding nodes in one shot.
+        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        edge_ids = np.repeat(starts, counts) + offsets
+        targets = indices[edge_ids]
+        shares = (
+            (1.0 - alpha)
+            * np.repeat(expand_masses, counts)
+            * edge_probabilities[edge_ids]
+        )
+        # Aggregate shares per target without touching an n-sized buffer.
+        order = np.argsort(targets, kind="stable")
+        sorted_targets = targets[order]
+        sorted_shares = shares[order]
+        boundaries = np.nonzero(np.diff(sorted_targets))[0] + 1
+        group_starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        active = sorted_targets[group_starts].astype(np.int64)
+        masses = np.add.reduceat(sorted_shares, group_starts)
+
+    support = np.unique(np.concatenate(touched))
+    support = support[scores[support] > 0.0]
+    border_hubs = np.nonzero(border)[0]
+    return PrimePPV(
+        source=source,
+        nodes=support.astype(np.int64),
+        scores=scores[support],
+        border_hubs=border_hubs.astype(np.int64),
+        border_masses=border[border_hubs],
+        edges_touched=edges_touched,
+    )
+
+
+def prime_subgraph_nodes(
+    graph: DiGraph,
+    source: int,
+    hub_mask: np.ndarray,
+    alpha: float = DEFAULT_ALPHA,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Node set of the prime subgraph ``G'(source)`` (Definition 2).
+
+    The interior plus the border hubs — i.e. everything a hub-interior-free
+    walk of reachability at least ``epsilon`` can touch.  Used by the
+    disk-based engine (Sect. 5.3) to know which clusters a query touches.
+    """
+    result = prime_ppv(graph, source, hub_mask, alpha=alpha, epsilon=epsilon)
+    return result.nodes

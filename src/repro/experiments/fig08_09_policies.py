@@ -1,0 +1,91 @@
+"""Figs. 8-9: effect of the hub selection policy.
+
+Compares expected utility (Eq. 7) against PageRank-only and
+out-degree-only selection — the paper's Sect. 6.2 — on both the online
+phase (accuracy + time, Fig. 8) and the offline phase (space + time,
+Fig. 9).  Random selection is "substantially worse" and omitted by the
+paper; we include it behind a flag for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hubs import HubPolicy
+from repro.experiments.report import Table
+from repro.experiments.runner import MethodOutcome, run_fastppv
+from repro.experiments.workloads import Workload
+from repro.graph.digraph import DiGraph
+from repro.graph.pagerank import global_pagerank
+
+POLICIES = (
+    HubPolicy.EXPECTED_UTILITY,
+    HubPolicy.PAGERANK,
+    HubPolicy.OUT_DEGREE,
+)
+
+
+@dataclass
+class PolicyOutcome:
+    """One policy's online + offline accounting."""
+
+    policy: HubPolicy
+    outcome: MethodOutcome
+
+
+def run_policy_comparison(
+    graph: DiGraph,
+    workload: Workload,
+    num_hubs: int,
+    eta: int = 2,
+    include_random: bool = False,
+) -> list[PolicyOutcome]:
+    """Run FastPPV once per hub selection policy."""
+    pagerank = global_pagerank(graph, alpha=workload.alpha)
+    policies = list(POLICIES) + ([HubPolicy.RANDOM] if include_random else [])
+    results = []
+    for policy in policies:
+        outcome = run_fastppv(
+            graph,
+            workload,
+            num_hubs=num_hubs,
+            eta=eta,
+            policy=policy,
+            pagerank=pagerank,
+        )
+        results.append(PolicyOutcome(policy=policy, outcome=outcome))
+    return results
+
+
+def fig8_table(results: list[PolicyOutcome], dataset: str) -> Table:
+    """Hub policy effect on online processing (Fig. 8)."""
+    table = Table(
+        title=f"Fig. 8 ({dataset}) — hub selection policy, online phase",
+        headers=["Policy", "Kendall", "Precision", "RAG", "L1 sim", "Time (ms)"],
+    )
+    for item in results:
+        accuracy = item.outcome.accuracy
+        table.add_row(
+            item.policy.value,
+            accuracy.kendall,
+            accuracy.precision,
+            accuracy.rag,
+            accuracy.l1_similarity,
+            item.outcome.online_ms_per_query,
+        )
+    return table
+
+
+def fig9_table(results: list[PolicyOutcome], dataset: str) -> Table:
+    """Hub policy effect on offline precomputation (Fig. 9)."""
+    table = Table(
+        title=f"Fig. 9 ({dataset}) — hub selection policy, offline phase",
+        headers=["Policy", "Total space (MB)", "Total time (s)"],
+    )
+    for item in results:
+        table.add_row(
+            item.policy.value,
+            item.outcome.offline_megabytes,
+            item.outcome.offline_seconds,
+        )
+    return table

@@ -1,0 +1,87 @@
+"""Figs. 10-11: effect of the number of hubs |H|.
+
+One sweep produces both exhibits: online accuracy + query time per hub
+count (Fig. 10) and offline space + precomputation time (Fig. 11).  The
+paper's findings to reproduce in shape: query time falls as |H| grows
+while accuracy stays robust; offline time *decreases* with more hubs
+(smaller prime subgraphs) while space grows sublinearly (clipping bites
+harder on large prime PPVs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.hubs import select_hubs
+from repro.core.index import IndexStats, build_index
+from repro.experiments.report import Table
+from repro.experiments.runner import MethodOutcome, run_fastppv
+from repro.experiments.workloads import Workload
+from repro.graph.digraph import DiGraph
+from repro.graph.pagerank import global_pagerank
+
+
+@dataclass
+class HubSweepPoint:
+    """Results at one hub count."""
+
+    num_hubs: int
+    outcome: MethodOutcome
+    offline: IndexStats
+
+
+def run_hub_sweep(
+    graph: DiGraph,
+    workload: Workload,
+    hub_counts: Sequence[int],
+    eta: int = 2,
+) -> list[HubSweepPoint]:
+    """Build an index per hub count and score the workload with each."""
+    pagerank = global_pagerank(graph, alpha=workload.alpha)
+    points = []
+    for num_hubs in hub_counts:
+        hubs = select_hubs(graph, num_hubs, alpha=workload.alpha, pagerank=pagerank)
+        index = build_index(graph, hubs, alpha=workload.alpha)
+        outcome = run_fastppv(
+            graph, workload, num_hubs=num_hubs, eta=eta, index=index
+        )
+        points.append(
+            HubSweepPoint(num_hubs=num_hubs, outcome=outcome, offline=index.stats)
+        )
+    return points
+
+
+def fig10_table(points: list[HubSweepPoint], dataset: str) -> Table:
+    """|H| effect on online processing (Fig. 10)."""
+    table = Table(
+        title=f"Fig. 10 ({dataset}) — number of hubs, online phase",
+        headers=["|H|", "Kendall", "Precision", "RAG", "L1 sim", "Time (ms)"],
+    )
+    for point in points:
+        accuracy = point.outcome.accuracy
+        table.add_row(
+            point.num_hubs,
+            accuracy.kendall,
+            accuracy.precision,
+            accuracy.rag,
+            accuracy.l1_similarity,
+            point.outcome.online_ms_per_query,
+        )
+    return table
+
+
+def fig11_table(points: list[HubSweepPoint], dataset: str) -> Table:
+    """|H| effect on offline precomputation (Fig. 11)."""
+    table = Table(
+        title=f"Fig. 11 ({dataset}) — number of hubs, offline phase",
+        headers=["|H|", "Total space (MB)", "Total time (s)", "Stored entries"],
+    )
+    for point in points:
+        table.add_row(
+            point.num_hubs,
+            point.offline.megabytes,
+            point.offline.build_seconds,
+            point.offline.stored_entries,
+        )
+    return table

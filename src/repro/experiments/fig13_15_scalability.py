@@ -1,0 +1,152 @@
+"""Figs. 13-15: scalability on growing graphs.
+
+Fig. 13 defines the growth series (DBLP year snapshots, LiveJournal edge
+samples); Fig. 14 shows near-constant online query time achieved by
+growing |H| with the graph; Fig. 15 shows the offline cost growing
+linearly in graph size.  The per-size hub counts follow the paper's
+recipe: empirically chosen so that online time stays flat — we scale |H|
+proportionally to the graph size ``|V| + |E|`` (edge samples grow in
+edges, not nodes, so a node-based fraction would under-provision hubs),
+which the experiments confirm suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.hubs import select_hubs
+from repro.core.index import IndexStats, build_index
+from repro.experiments.report import Table
+from repro.experiments.runner import MethodOutcome, run_fastppv
+from repro.experiments.workloads import make_workload
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import BibliographicGraph
+from repro.graph.pagerank import global_pagerank
+from repro.graph.sampling import sample_series, snapshot_series
+
+
+@dataclass
+class ScalePoint:
+    """One growing-graph measurement."""
+
+    label: str
+    num_nodes: int
+    num_edges: int
+    num_hubs: int
+    outcome: MethodOutcome
+    offline: IndexStats
+
+
+def _measure(
+    label: str,
+    graph: DiGraph,
+    hub_fraction: float,
+    eta: int,
+    num_queries: int,
+    seed: int,
+) -> ScalePoint:
+    workload = make_workload(graph, num_queries=num_queries, seed=seed)
+    pagerank = global_pagerank(graph)
+    num_hubs = max(1, int((graph.num_nodes + graph.num_edges) * hub_fraction))
+    hubs = select_hubs(graph, num_hubs, pagerank=pagerank)
+    index = build_index(graph, hubs)
+    outcome = run_fastppv(graph, workload, num_hubs=num_hubs, eta=eta, index=index)
+    return ScalePoint(
+        label=label,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_hubs=num_hubs,
+        outcome=outcome,
+        offline=index.stats,
+    )
+
+
+def run_snapshot_scalability(
+    bib: BibliographicGraph,
+    years: Sequence[int] = (1998, 2002, 2006, 2010),
+    hub_fraction: float = 0.006,
+    eta: int = 2,
+    num_queries: int = 25,
+    seed: int = 0,
+) -> list[ScalePoint]:
+    """DBLP-style growth: snapshots by publication year (Fig. 13(a))."""
+    return [
+        _measure(str(year), graph, hub_fraction, eta, num_queries, seed)
+        for year, graph in snapshot_series(bib, list(years))
+    ]
+
+
+def run_sample_scalability(
+    graph: DiGraph,
+    fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    hub_fraction: float = 0.04,
+    eta: int = 2,
+    num_queries: int = 25,
+    seed: int = 0,
+) -> list[ScalePoint]:
+    """LiveJournal-style growth: uniform edge samples S1..Sk (Fig. 13(b))."""
+    points = []
+    for index, (fraction, sampled) in enumerate(
+        sample_series(graph, list(fractions), seed=seed), start=1
+    ):
+        points.append(
+            _measure(f"S{index}", sampled, hub_fraction, eta, num_queries, seed)
+        )
+        del fraction
+    return points
+
+
+def fig13_table(points: list[ScalePoint], dataset: str) -> Table:
+    """The growth series itself (Fig. 13)."""
+    table = Table(
+        title=f"Fig. 13 ({dataset}) — growing graph series",
+        headers=["Graph", "# Nodes", "# Edges"],
+    )
+    for point in points:
+        table.add_row(point.label, point.num_nodes, point.num_edges)
+    return table
+
+
+def fig14_table(points: list[ScalePoint], dataset: str) -> Table:
+    """Near-constant online time with growing |H| (Fig. 14)."""
+    table = Table(
+        title=f"Fig. 14 ({dataset}) — online scalability",
+        headers=[
+            "Graph",
+            "|H|",
+            "Kendall",
+            "Precision",
+            "RAG",
+            "L1 sim",
+            "Time per query (ms)",
+        ],
+    )
+    for point in points:
+        accuracy = point.outcome.accuracy
+        table.add_row(
+            point.label,
+            point.num_hubs,
+            accuracy.kendall,
+            accuracy.precision,
+            accuracy.rag,
+            accuracy.l1_similarity,
+            point.outcome.online_ms_per_query,
+        )
+    return table
+
+
+def fig15_table(points: list[ScalePoint], dataset: str) -> Table:
+    """Offline cost vs graph size — expect linear growth (Fig. 15)."""
+    table = Table(
+        title=f"Fig. 15 ({dataset}) — offline cost vs graph size",
+        headers=["Graph", "Nodes+Edges", "Total space (MB)", "Total time (s)"],
+    )
+    for point in points:
+        table.add_row(
+            point.label,
+            point.num_nodes + point.num_edges,
+            point.offline.megabytes,
+            point.offline.build_seconds,
+        )
+    return table

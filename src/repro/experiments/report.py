@@ -1,0 +1,73 @@
+"""Plain-text tables mirroring the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """A titled table of experiment rows.
+
+    ``rows`` hold already-formatted strings or numbers; ``render`` aligns
+    columns for terminal output.
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Monospace rendering with a title rule and aligned columns."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column (raw, unformatted)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """One-shot table rendering."""
+    table = Table(title=title, headers=list(headers))
+    for row in rows:
+        table.add_row(*row)
+    return table.render()

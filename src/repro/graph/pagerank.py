@@ -1,0 +1,61 @@
+"""Global (non-personalised) PageRank.
+
+Used by hub selection (the "popularity" half of expected utility, Eq. 7)
+and by the MonteCarlo baseline's hub policy.  Implemented as standard power
+iteration on the CSR transition matrix with uniform teleportation; dangling
+mass is redistributed uniformly, the textbook convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+DEFAULT_ALPHA = 0.15
+"""Teleport probability used throughout the paper (Sect. 6, "Parameters")."""
+
+
+def global_pagerank(
+    graph: DiGraph,
+    alpha: float = DEFAULT_ALPHA,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """PageRank scores of every node.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    alpha:
+        Teleport probability (the paper's ``alpha = 0.15``).
+    tol:
+        L1 convergence tolerance between successive iterates.
+    max_iter:
+        Iteration cap; the result at the cap is returned if not converged
+        (PageRank contracts at rate ``1 - alpha``, so 200 iterations are
+        ample for any practical tolerance).
+
+    Returns
+    -------
+    numpy.ndarray
+        Probability vector of length ``n`` summing to 1.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0)
+    matrix = graph.transition_matrix().T.tocsr()
+    dangling = np.asarray(graph.out_degrees == 0)
+    rank = np.full(n, 1.0 / n)
+    teleport = np.full(n, alpha / n)
+    for _ in range(max_iter):
+        dangling_mass = rank[dangling].sum()
+        new_rank = (1.0 - alpha) * (matrix @ rank + dangling_mass / n) + teleport
+        delta = np.abs(new_rank - rank).sum()
+        rank = new_rank
+        if delta < tol:
+            break
+    return rank

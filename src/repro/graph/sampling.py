@@ -1,0 +1,76 @@
+"""Growing-graph series for the scalability study (Fig. 13-15).
+
+Two mechanisms mirror the paper:
+
+* DBLP grows by *time*: :func:`snapshot_series` cuts a
+  :class:`~repro.graph.generators.BibliographicGraph` at a set of years,
+  keeping only papers published up to each year (authors/venues appear once
+  they have at least one retained paper).
+* LiveJournal grows by *sampling*: :func:`edge_sample` keeps a uniform
+  fraction of directed edges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.build import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import BibliographicGraph
+
+
+def snapshot(bib: BibliographicGraph, year: int) -> DiGraph:
+    """Subgraph of papers published up to and including ``year``.
+
+    The node id space is re-densified; isolated authors/venues (no retained
+    paper) are dropped, matching how a real bibliography snapshot would be
+    extracted.
+    """
+    keep_paper = bib.paper_years <= year
+    builder = GraphBuilder()  # labelled: original ids become labels
+    graph = bib.graph
+    for paper in np.nonzero(keep_paper)[0]:
+        paper_node = bib.paper_node(int(paper))
+        for nbr in graph.out_neighbors(paper_node):
+            builder.add_undirected_edge(paper_node, int(nbr))
+    return builder.build()
+
+
+def snapshot_series(
+    bib: BibliographicGraph, years: Sequence[int]
+) -> list[tuple[int, DiGraph]]:
+    """Snapshots at each year, e.g. ``[1994, 1998, 2002, 2006, 2010]``."""
+    return [(year, snapshot(bib, year)) for year in years]
+
+
+def edge_sample(graph: DiGraph, fraction: float, seed: int = 0) -> DiGraph:
+    """Keep a uniform ``fraction`` of directed edges.
+
+    Nodes that lose all incident edges are dropped and ids re-densified,
+    mirroring the paper's LiveJournal samples S1..S5 whose node counts grow
+    with the edge counts.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(graph.num_edges) < fraction
+    builder = GraphBuilder()  # labelled: original ids become labels
+    edge_index = 0
+    for src in range(graph.num_nodes):
+        for dst in graph.out_neighbors(src):
+            if keep[edge_index]:
+                builder.add_edge(src, int(dst))
+            edge_index += 1
+    return builder.build()
+
+
+def sample_series(
+    graph: DiGraph, fractions: Sequence[float], seed: int = 0
+) -> list[tuple[float, DiGraph]]:
+    """Edge-sampled graphs at each fraction, smallest first."""
+    return [
+        (fraction, edge_sample(graph, fraction, seed=seed))
+        for fraction in sorted(fractions)
+    ]

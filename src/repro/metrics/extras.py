@@ -1,0 +1,87 @@
+"""Additional ranking metrics used by the PPR literature.
+
+The paper reports the four metrics of :mod:`repro.metrics`; related work
+also uses NDCG (graded relevance), Spearman's footrule (displacement) and
+top-k intersection similarity.  These round out the suite for users who
+want to compare against other papers' numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.ranking import top_k_nodes
+
+
+def ndcg_at_k(exact: np.ndarray, estimate: np.ndarray, k: int = 10) -> float:
+    """Normalised Discounted Cumulative Gain over the top-k.
+
+    Gains are the *exact* scores of the nodes the estimate ranks at each
+    position; the ideal ordering is by exact score.  1.0 means the
+    estimated ranking collects exact relevance as fast as possible.
+    """
+    exact = np.asarray(exact, dtype=float)
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    ranked = top_k_nodes(estimate, k)
+    ideal = top_k_nodes(exact, k)
+    dcg = float((exact[ranked] * discounts[: ranked.size]).sum())
+    idcg = float((exact[ideal] * discounts[: ideal.size]).sum())
+    if idcg == 0.0:
+        return 1.0
+    return dcg / idcg
+
+
+def spearman_footrule(
+    exact: np.ndarray, estimate: np.ndarray, k: int = 10
+) -> float:
+    """Normalised Spearman's footrule distance over the top-k union.
+
+    Sums the absolute rank displacement of every node in the union of the
+    two top-k lists (nodes absent from a list rank at ``|union|``), and
+    normalises by the maximum possible displacement so that 0 means
+    identical rankings and 1 means maximal disagreement.
+    """
+    exact = np.asarray(exact, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    union = np.union1d(top_k_nodes(exact, k), top_k_nodes(estimate, k))
+    universe = union.size
+
+    def ranks(scores: np.ndarray) -> dict[int, int]:
+        ordered = sorted(
+            (int(node) for node in union),
+            key=lambda node: (-scores[node], node),
+        )
+        return {node: position for position, node in enumerate(ordered)}
+
+    exact_rank = ranks(exact)
+    estimate_rank = ranks(estimate)
+    displacement = sum(
+        abs(exact_rank[int(node)] - estimate_rank[int(node)]) for node in union
+    )
+    # Maximum footrule on `universe` items is floor(universe^2 / 2).
+    maximum = universe * universe // 2
+    if maximum == 0:
+        return 0.0
+    return displacement / maximum
+
+
+def intersection_similarity(
+    exact: np.ndarray, estimate: np.ndarray, k: int = 10
+) -> float:
+    """Average prefix-overlap of the two top-k lists (Fagin et al.).
+
+    ``mean over i in 1..k of |top_i(exact) & top_i(estimate)| / i`` —
+    stricter than precision@k because agreement must hold at *every*
+    prefix, rewarding correct ordering near the top.
+    """
+    exact_top = top_k_nodes(exact, k)
+    estimate_top = top_k_nodes(estimate, k)
+    k = min(k, exact_top.size, estimate_top.size)
+    if k == 0:
+        return 1.0
+    total = 0.0
+    for i in range(1, k + 1):
+        a = set(exact_top[:i].tolist())
+        b = set(estimate_top[:i].tolist())
+        total += len(a & b) / i
+    return total / k

@@ -1,0 +1,40 @@
+"""Score accuracy: RAG and L1 similarity.
+
+RAG (Relative Average Goodness, from the HubRank line of work [6]) asks:
+if a user consumes the *approximate* top-k, how much exact PPV mass do
+they get relative to consuming the *exact* top-k?  L1 similarity is the
+complement of the L1 error, reported so that "larger is better" holds for
+every column of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.ranking import top_k_nodes
+
+
+def rag(exact: np.ndarray, estimate: np.ndarray, k: int = 10) -> float:
+    """Relative Average Goodness over the top-k.
+
+    ``RAG = sum of exact scores over the estimated top-k / sum of exact
+    scores over the exact top-k``.  Equals 1 when the estimated top-k
+    contains nodes exactly as good as the true best ones (even if in a
+    different order).
+    """
+    exact = np.asarray(exact, dtype=float)
+    numerator = exact[top_k_nodes(estimate, k)].sum()
+    denominator = exact[top_k_nodes(exact, k)].sum()
+    if denominator == 0.0:
+        return 1.0
+    return float(numerator / denominator)
+
+
+def l1_error(exact: np.ndarray, estimate: np.ndarray) -> float:
+    """``||exact - estimate||_1``."""
+    return float(np.abs(np.asarray(exact) - np.asarray(estimate)).sum())
+
+
+def l1_similarity(exact: np.ndarray, estimate: np.ndarray) -> float:
+    """``1 - L1 error`` — the paper's presentation of score fidelity."""
+    return 1.0 - l1_error(exact, estimate)

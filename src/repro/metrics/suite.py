@@ -1,0 +1,58 @@
+"""Bundled accuracy evaluation: all four metrics at once.
+
+The experiment drivers score every (query, method) pair with the same
+bundle the paper's tables report — Kendall, Precision, RAG, L1 similarity —
+averaged over the query workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.ranking import kendall_tau, precision_at_k
+from repro.metrics.scores import l1_similarity, rag
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """The four-metric bundle for one or more queries (averaged)."""
+
+    kendall: float
+    precision: float
+    rag: float
+    l1_similarity: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name -> value, in the paper's column order."""
+        return {
+            "Kendall": self.kendall,
+            "Precision": self.precision,
+            "RAG": self.rag,
+            "L1 similarity": self.l1_similarity,
+        }
+
+    @staticmethod
+    def average(reports: "list[AccuracyReport]") -> "AccuracyReport":
+        """Mean of each metric over per-query reports."""
+        if not reports:
+            raise ValueError("cannot average zero reports")
+        return AccuracyReport(
+            kendall=float(np.mean([r.kendall for r in reports])),
+            precision=float(np.mean([r.precision for r in reports])),
+            rag=float(np.mean([r.rag for r in reports])),
+            l1_similarity=float(np.mean([r.l1_similarity for r in reports])),
+        )
+
+
+def evaluate_accuracy(
+    exact: np.ndarray, estimate: np.ndarray, k: int = 10
+) -> AccuracyReport:
+    """All four metrics for one query."""
+    return AccuracyReport(
+        kendall=kendall_tau(exact, estimate, k),
+        precision=precision_at_k(exact, estimate, k),
+        rag=rag(exact, estimate, k),
+        l1_similarity=l1_similarity(exact, estimate),
+    )

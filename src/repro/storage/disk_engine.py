@@ -1,0 +1,389 @@
+"""Disk-based online query processing (Sect. 5.3, Fig. 16).
+
+Simulates the paper's reduced-memory deployment: the graph is segmented
+into PPR clusters, each persisted as its own file, and **at most one
+cluster's adjacency lives in memory at a time**.  Walking the prime
+subgraph of a query touches neighbouring clusters; every swap is a
+*cluster fault*.  Faults are counted, and the prime-subgraph search is
+prematurely terminated once a fault budget (default: the number of
+clusters, "generally robust" per the paper) is exhausted — trading a
+little accuracy for much less I/O.
+
+Hub prime PPVs are fetched lazily from the on-disk
+:class:`~repro.storage.ppv_store.DiskPPVStore`, one random access each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.query import (
+    DEFAULT_DELTA,
+    QueryResult,
+    QueryState,
+    StopAfterIterations,
+    StoppingCondition,
+)
+from repro.graph.digraph import DiGraph
+from repro.storage.clustering import ClusterAssignment, cluster_graph
+from repro.storage.ppv_store import DiskPPVStore
+
+
+class DiskGraphStore:
+    """A graph segmented into per-cluster files with a bounded cache.
+
+    Parameters
+    ----------
+    graph:
+        The graph to segment (used only at build time).
+    assignment:
+        Cluster assignment from :func:`repro.storage.clustering.cluster_graph`.
+    directory:
+        Where cluster files are written.
+    memory_budget:
+        How many clusters may be memory-resident at once.  The paper's
+        deployment keeps exactly one (the Fig. 16 setting, the default);
+        larger budgets trade memory for fewer faults via LRU eviction —
+        the ablation of ``benchmarks/bench_fig16_disk.py``.
+
+    Notes
+    -----
+    Each cluster file holds the out-adjacency of its member nodes
+    (``nodes``, ``offsets``, ``targets`` and per-edge step probabilities
+    in the *global* id space) as an ``.npz``.  :meth:`out_edges`
+    transparently swaps the owning cluster in, bumping :attr:`faults`
+    when the needed cluster is not resident.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        assignment: ClusterAssignment,
+        directory: str | os.PathLike[str],
+        memory_budget: int = 1,
+    ) -> None:
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be at least one cluster")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.num_nodes = graph.num_nodes
+        self.labels = assignment.labels.copy()
+        self.num_clusters = assignment.num_clusters
+        self.memory_budget = memory_budget
+        self.faults = 0
+        # LRU cache: cluster id -> adjacency dict, most recent last.
+        self._cache: "dict[int, dict[int, tuple[np.ndarray, np.ndarray]]]" = {}
+        self._bytes_per_cluster: list[int] = []
+        edge_probabilities = graph.edge_probabilities
+        for cluster in range(assignment.num_clusters):
+            nodes = assignment.members(cluster)
+            probs = [
+                edge_probabilities[graph.indptr[int(u)] : graph.indptr[int(u) + 1]]
+                for u in nodes
+            ]
+            adjacency = {
+                "nodes": nodes,
+                "offsets": np.concatenate(
+                    ([0], np.cumsum(graph.out_degrees[nodes]))
+                ),
+                "targets": np.concatenate(
+                    [graph.out_neighbors(int(u)) for u in nodes]
+                    or [np.empty(0, dtype=np.int32)]
+                ),
+                "probs": np.concatenate(probs or [np.empty(0)]),
+            }
+            path = self._cluster_path(cluster)
+            np.savez(path, **adjacency)
+            self._bytes_per_cluster.append(path.stat().st_size)
+        manifest = {
+            "num_nodes": self.num_nodes,
+            "num_clusters": self.num_clusters,
+        }
+        (self.directory / "manifest.json").write_text(json.dumps(manifest))
+
+    def _cluster_path(self, cluster: int) -> Path:
+        return self.directory / f"cluster_{cluster:05d}.npz"
+
+    @property
+    def largest_cluster_bytes(self) -> int:
+        """On-disk size of the biggest cluster — the minimum working set."""
+        return max(self._bytes_per_cluster)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-disk size of all clusters."""
+        return sum(self._bytes_per_cluster)
+
+    def cluster_of(self, node: int) -> int:
+        """Cluster id owning ``node``."""
+        return int(self.labels[node])
+
+    def _load_cluster(self, cluster: int) -> dict:
+        with np.load(self._cluster_path(cluster)) as data:
+            nodes = data["nodes"]
+            offsets = data["offsets"]
+            targets = data["targets"]
+            probs = data["probs"]
+        adjacency = {}
+        for position, node in enumerate(nodes):
+            start, end = offsets[position], offsets[position + 1]
+            adjacency[int(node)] = (targets[start:end], probs[start:end])
+        return adjacency
+
+    def out_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(targets, step probabilities)`` of ``node``, swapping its
+        cluster in (with LRU eviction) if needed."""
+        cluster = self.cluster_of(node)
+        adjacency = self._cache.get(cluster)
+        if adjacency is None:
+            self.faults += 1
+            adjacency = self._load_cluster(cluster)
+            while len(self._cache) >= self.memory_budget:
+                oldest = next(iter(self._cache))
+                del self._cache[oldest]
+        else:
+            del self._cache[cluster]  # re-insert as most recent
+        self._cache[cluster] = adjacency
+        return adjacency[node]
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbours of ``node``, swapping its cluster in if needed."""
+        return self.out_edges(node)[0]
+
+    def _resident_cluster_hint(self) -> int:
+        """Most recently used cluster id, or -1 when the cache is cold.
+
+        The disk engine prefers draining the resident cluster first, so
+        exposing the MRU entry avoids an unnecessary swap.
+        """
+        if not self._cache:
+            return -1
+        return next(reversed(self._cache))
+
+
+@dataclass
+class DiskQueryResult:
+    """A :class:`QueryResult` plus the I/O accounting of Fig. 16."""
+
+    result: QueryResult
+    cluster_faults: int
+    hub_reads: int
+    truncated: bool
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Estimated PPV (delegates to the inner result)."""
+        return self.result.scores
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock query time (delegates to the inner result)."""
+        return self.result.seconds
+
+
+class DiskFastPPV:
+    """FastPPV online processing against disk-resident graph and index.
+
+    Parameters
+    ----------
+    graph_store:
+        Cluster-segmented graph (:class:`DiskGraphStore`).
+    ppv_store:
+        On-disk PPV index (:class:`DiskPPVStore`).
+    delta:
+        Border-hub expansion threshold (as in the in-memory engine).
+    fault_budget:
+        Prime-subgraph search stops expanding new nodes once this many
+        cluster faults occurred within one query; defaults to the number
+        of clusters (the paper's robust choice).
+    """
+
+    def __init__(
+        self,
+        graph_store: DiskGraphStore,
+        ppv_store: DiskPPVStore,
+        delta: float = DEFAULT_DELTA,
+        fault_budget: int | None = None,
+    ) -> None:
+        if graph_store.num_nodes != ppv_store.num_nodes:
+            raise ValueError("graph store and PPV store disagree on node count")
+        self.graph_store = graph_store
+        self.ppv_store = ppv_store
+        self.delta = delta
+        self.fault_budget = (
+            fault_budget if fault_budget is not None else graph_store.num_clusters
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _prime_push_on_disk(
+        self, source: int
+    ) -> tuple[np.ndarray, dict[int, float], bool]:
+        """Cluster-draining prime push through the cluster store.
+
+        Push is order-independent (any schedule that expands every
+        super-threshold residual converges to the same vector), so instead
+        of the in-memory engine's level-synchronous order we *drain one
+        cluster at a time*: all resident residual is propagated to
+        exhaustion — intra-cluster mass bounces without I/O — and only the
+        mass exported to other clusters is deferred.  This mirrors the
+        paper's DFS-within-cluster search and keeps faults near the number
+        of distinct clusters the prime subgraph overlaps.
+
+        Returns ``(dense scores, border arrival masses, truncated)`` where
+        ``truncated`` reports whether the fault budget cut the search.
+        """
+        alpha = self.ppv_store.alpha
+        epsilon = self.ppv_store.epsilon
+        hub_mask = self.ppv_store.hub_mask
+        n = self.graph_store.num_nodes
+        scores = np.zeros(n)
+        border: dict[int, float] = {}
+        # Pending *expansion* mass per cluster.  Scoring and border
+        # bookkeeping happen at insertion time and need no I/O — only the
+        # expansion of a node requires its cluster's adjacency, so pools
+        # whose every node sits below epsilon are dropped fault-free.
+        pools: dict[int, dict[int, float]] = {}
+
+        def deposit(node: int, mass: float) -> None:
+            scores[node] += alpha * mass
+            if hub_mask[node]:
+                border[node] = border.get(node, 0.0) + mass
+                return
+            cluster = self.graph_store.cluster_of(node)
+            pool = pools.setdefault(cluster, {})
+            pool[node] = pool.get(node, 0.0) + mass
+
+        # The initial unit at the source always expands (a tour's start
+        # never counts towards hub length), even when the source is a hub.
+        scores[source] += alpha
+        source_cluster = self.graph_store.cluster_of(source)
+        pools[source_cluster] = {source: 1.0}
+
+        start_faults = self.graph_store.faults
+        truncated = False
+        while pools:
+            # Prefer the resident cluster; otherwise drain the heaviest
+            # pool (its export pattern settles fastest).
+            resident = self.graph_store._resident_cluster_hint()
+            if resident in pools and any(
+                m >= epsilon for m in pools[resident].values()
+            ):
+                cluster = resident
+            else:
+                cluster = max(pools, key=lambda c: sum(pools[c].values()))
+            pending = pools.pop(cluster)
+            local = {
+                node: mass for node, mass in pending.items() if mass >= epsilon
+            }
+            if not local:
+                continue  # everything sub-threshold: already scored, no I/O
+            if self.graph_store.faults - start_faults >= self.fault_budget:
+                truncated = True
+                break
+            # FIFO order lets arriving shares aggregate before their node
+            # is expanded (LIFO would expand each share almost alone,
+            # multiplying the work by the cycle count).
+            queue = deque(local)
+            while queue:
+                node = queue.popleft()
+                mass = local.pop(node, 0.0)
+                if mass < epsilon:
+                    continue  # sub-threshold remainder: already scored
+                neighbors, probabilities = self.graph_store.out_edges(node)
+                for target, probability in zip(neighbors, probabilities):
+                    target = int(target)
+                    share = (1.0 - alpha) * mass * probability
+                    if (
+                        not hub_mask[target]
+                        and self.graph_store.cluster_of(target) == cluster
+                    ):
+                        # Keep intra-cluster mass local: score it now,
+                        # aggregate the pending expansion.
+                        scores[target] += alpha * share
+                        if target in local:
+                            local[target] += share
+                        else:
+                            local[target] = share
+                            queue.append(target)
+                    else:
+                        deposit(target, share)
+        return scores, border, truncated
+
+    def query(
+        self,
+        query: int,
+        stop: StoppingCondition | None = None,
+    ) -> DiskQueryResult:
+        """Estimate the PPV of ``query`` from disk-resident data."""
+        if not 0 <= query < self.graph_store.num_nodes:
+            raise ValueError(f"query node {query} out of range")
+        if stop is None:
+            stop = StopAfterIterations(2)
+        alpha = self.ppv_store.alpha
+        started = time.perf_counter()
+        faults_before = self.graph_store.faults
+        reads_before = self.ppv_store.reads
+
+        truncated = False
+        if query in self.ppv_store:
+            entry = self.ppv_store.get(query)
+            estimate = entry.to_dense(self.graph_store.num_nodes)
+            frontier = dict(
+                zip(entry.border_hubs.tolist(), entry.border_masses.tolist())
+            )
+        else:
+            estimate, frontier, truncated = self._prime_push_on_disk(query)
+
+        error_history = [1.0 - float(estimate.sum())]
+        hubs_expanded = 0
+        iteration = 0
+        while frontier and iteration < 64:
+            state_error = error_history[-1]
+            state = QueryState(
+                iteration=iteration,
+                l1_error=state_error,
+                elapsed_seconds=time.perf_counter() - started,
+                frontier_size=len(frontier),
+            )
+            if stop.should_stop(state):
+                break
+            iteration += 1
+            next_frontier: dict[int, float] = {}
+            for hub, mass in frontier.items():
+                if alpha * mass <= self.delta:
+                    continue
+                entry = self.ppv_store.get(hub)
+                estimate[entry.nodes] += mass * entry.scores
+                estimate[hub] -= alpha * mass  # trivial-tour correction
+                hubs_expanded += 1
+                for border, border_mass in zip(
+                    entry.border_hubs.tolist(), entry.border_masses.tolist()
+                ):
+                    next_frontier[border] = (
+                        next_frontier.get(border, 0.0) + mass * border_mass
+                    )
+            frontier = next_frontier
+            error_history.append(1.0 - float(estimate.sum()))
+
+        result = QueryResult(
+            query=query,
+            scores=estimate,
+            iterations=iteration,
+            error_history=error_history,
+            hubs_expanded=hubs_expanded,
+            seconds=time.perf_counter() - started,
+        )
+        return DiskQueryResult(
+            result=result,
+            cluster_faults=self.graph_store.faults - faults_before,
+            hub_reads=self.ppv_store.reads - reads_before,
+            truncated=truncated,
+        )

@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's running-example graph and workload graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_index, from_edges, select_hubs, social_graph
+from repro.graph.generators import bibliographic_graph
+
+# Node naming for the paper's Fig. 1 example graph.
+A, B, C, D, E, F, G, H = range(8)
+
+FIG1_EDGES = [
+    (A, B), (A, C), (A, D), (A, F), (A, H),
+    (B, C), (B, D), (B, E),
+    (D, C), (D, E),
+    (F, D), (F, G),
+    (G, D),
+    (H, C),
+]
+
+FIG3_HUBS = [B, D, F]  # the hub set {b, d, f} of Fig. 3
+
+ALPHA = 0.15
+
+
+@pytest.fixture(scope="session")
+def fig1_graph():
+    """The running example of Fig. 1(a) (reconstructed from the tour lists)."""
+    return from_edges(FIG1_EDGES, num_nodes=8)
+
+
+@pytest.fixture(scope="session")
+def fig1_hub_mask(fig1_graph):
+    mask = np.zeros(fig1_graph.num_nodes, dtype=bool)
+    mask[FIG3_HUBS] = True
+    return mask
+
+
+@pytest.fixture(scope="session")
+def cyclic_graph():
+    """A small strongly cyclic graph (every node has out-edges)."""
+    return from_edges(
+        [(0, 1), (1, 2), (2, 0), (1, 0), (2, 3), (3, 2), (3, 0), (0, 3)],
+        num_nodes=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_social():
+    """A 400-node LiveJournal-like graph (session-cached: generation is slow)."""
+    return social_graph(num_nodes=400, edges_per_node=3, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_bib():
+    """A small DBLP-like bibliographic network."""
+    return bibliographic_graph(
+        num_authors=120, num_papers=260, num_venues=12, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def small_social_index(small_social):
+    """A default index over the small social graph (40 hubs)."""
+    hubs = select_hubs(small_social, num_hubs=40)
+    return build_index(small_social, hubs)

@@ -1,0 +1,78 @@
+"""Tests for graph statistics."""
+
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.analysis import (
+    bfs_eccentricity,
+    effective_diameter,
+    graph_stats,
+    reciprocity,
+)
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        graph = from_edges([(0, 1), (1, 0)])
+        assert reciprocity(graph) == 1.0
+
+    def test_one_way(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        assert reciprocity(graph) == 0.0
+
+    def test_half(self):
+        graph = from_edges([(0, 1), (1, 0), (1, 2), (2, 3)])
+        assert reciprocity(graph) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert reciprocity(from_edges([], num_nodes=3)) == 0.0
+
+
+class TestEccentricityAndDiameter:
+    def test_path_eccentricity(self):
+        graph = path_graph(5)
+        assert bfs_eccentricity(graph, 0) == 4
+        assert bfs_eccentricity(graph, 4) == 0
+
+    def test_cycle_eccentricity(self):
+        assert bfs_eccentricity(cycle_graph(6), 0) == 5
+
+    def test_complete_diameter(self):
+        assert effective_diameter(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_diameter_deterministic(self, small_social):
+        a = effective_diameter(small_social, samples=8, seed=3)
+        b = effective_diameter(small_social, samples=8, seed=3)
+        assert a == b
+
+    def test_empty_graph(self):
+        assert effective_diameter(from_edges([], num_nodes=0)) == 0.0
+
+
+class TestGraphStats:
+    def test_fields(self, small_social):
+        stats = graph_stats(small_social)
+        assert stats.num_nodes == small_social.num_nodes
+        assert stats.num_edges == small_social.num_edges
+        assert not stats.is_weighted
+        assert stats.num_dangling == 0
+        assert stats.min_out_degree >= 1
+        assert stats.max_in_degree >= stats.min_out_degree
+        assert 0.0 <= stats.reciprocity <= 1.0
+        assert stats.effective_diameter > 1.0
+
+    def test_dangling_count(self):
+        stats = graph_stats(path_graph(4))
+        assert stats.num_dangling == 1
+
+    def test_as_dict_keys(self, small_social):
+        table = graph_stats(small_social).as_dict()
+        assert "nodes" in table and "edges" in table
+        assert "reciprocity" in table
+
+    def test_weighted_flag(self):
+        from repro.graph import from_weighted_edges
+
+        stats = graph_stats(from_weighted_edges([(0, 1, 2.0), (1, 0, 1.0)]))
+        assert stats.is_weighted

@@ -1,0 +1,72 @@
+"""Tests for hub-count auto-configuration."""
+
+import pytest
+
+from repro.core.autotune import (
+    AutotuneResult,
+    autotune_hub_count,
+    default_candidates,
+)
+
+
+class TestDefaultCandidates:
+    def test_geometric_ladder(self, small_social):
+        ladder = default_candidates(small_social)
+        assert ladder
+        assert all(b == 2 * a for a, b in zip(ladder, ladder[1:]))
+        assert max(ladder) <= small_social.num_nodes // 4
+
+    def test_tiny_graph(self):
+        from repro.graph.generators import cycle_graph
+
+        ladder = default_candidates(cycle_graph(8))
+        assert ladder == [1, 2]
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def result(self, small_social) -> AutotuneResult:
+        return autotune_hub_count(
+            small_social, candidates=[10, 40, 100], num_probe_queries=8, seed=1
+        )
+
+    def test_probes_all_candidates(self, result):
+        assert [p.num_hubs for p in result.probes] == [10, 40, 100]
+
+    def test_best_minimises_work(self, result):
+        best = min(result.probes, key=lambda p: p.mean_work)
+        assert result.best_num_hubs == best.num_hubs
+
+    def test_probe_fields_sane(self, result):
+        for probe in result.probes:
+            assert probe.mean_work > 0
+            assert 0.0 <= probe.mean_l1_error <= 1.0
+            assert probe.index_megabytes > 0
+
+    def test_space_budget_respected(self, small_social, result):
+        tightest = min(p.index_megabytes for p in result.probes)
+        budgeted = autotune_hub_count(
+            small_social,
+            candidates=[10, 40, 100],
+            num_probe_queries=8,
+            seed=1,
+            space_budget_mb=tightest,
+        )
+        chosen = next(
+            p for p in budgeted.probes if p.num_hubs == budgeted.best_num_hubs
+        )
+        assert chosen.index_megabytes <= tightest + 1e-9
+
+    def test_impossible_budget_falls_back_to_smallest(self, small_social):
+        result = autotune_hub_count(
+            small_social,
+            candidates=[10, 40],
+            num_probe_queries=5,
+            space_budget_mb=0.0,
+        )
+        smallest = min(result.probes, key=lambda p: p.index_megabytes)
+        assert result.best_num_hubs == smallest.num_hubs
+
+    def test_empty_candidates_rejected(self, small_social):
+        with pytest.raises(ValueError):
+            autotune_hub_count(small_social, candidates=[])

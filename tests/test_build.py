@@ -1,0 +1,98 @@
+"""Unit tests for GraphBuilder and from_edges."""
+
+import pytest
+
+from repro.graph import GraphBuilder, from_edges
+
+
+class TestGraphBuilder:
+    def test_integer_mode(self):
+        builder = GraphBuilder(num_nodes=3)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        graph = builder.build()
+        assert graph.num_nodes == 3
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_integer_mode_rejects_out_of_range(self):
+        builder = GraphBuilder(num_nodes=2)
+        with pytest.raises(ValueError):
+            builder.add_edge(0, 5)
+
+    def test_integer_mode_rejects_negative(self):
+        builder = GraphBuilder(num_nodes=2)
+        with pytest.raises(ValueError):
+            builder.add_edge(-1, 0)
+
+    def test_labelled_mode_interns(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        builder.add_edge("bob", "alice")
+        graph = builder.build()
+        assert graph.num_nodes == 2
+        assert graph.node_id("alice") == 0
+        assert graph.node_id("bob") == 1
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_add_node_without_edges(self):
+        builder = GraphBuilder()
+        builder.add_node("lonely")
+        graph = builder.build()
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_deduplicates_parallel_edges(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        builder.add_edge(0, 1)
+        assert builder.num_pending_edges == 3
+        graph = builder.build()
+        assert graph.num_edges == 1
+
+    def test_undirected_edge(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_undirected_edge(0, 1)
+        graph = builder.build()
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_self_loop_kept_by_default(self):
+        builder = GraphBuilder(num_nodes=1)
+        builder.add_edge(0, 0)
+        assert builder.build().num_edges == 1
+
+    def test_drop_self_loops(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 0)
+        builder.add_edge(0, 1)
+        graph = builder.build(drop_self_loops=True)
+        assert sorted(graph.edges()) == [(0, 1)]
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder(num_nodes=4)
+        builder.add_edges([(0, 1), (1, 2), (2, 3)])
+        assert builder.build().num_edges == 3
+
+    def test_empty_labelled_build(self):
+        graph = GraphBuilder().build()
+        assert graph.num_nodes == 0
+
+    def test_neighbors_sorted_after_build(self):
+        builder = GraphBuilder(num_nodes=4)
+        builder.add_edges([(0, 3), (0, 1), (0, 2)])
+        graph = builder.build()
+        assert graph.out_neighbors(0).tolist() == [1, 2, 3]
+
+
+class TestFromEdges:
+    def test_infers_num_nodes(self):
+        graph = from_edges([(0, 4)])
+        assert graph.num_nodes == 5
+
+    def test_undirected(self):
+        graph = from_edges([(0, 1)], undirected=True)
+        assert graph.num_edges == 2
+
+    def test_empty_no_num_nodes(self):
+        graph = from_edges([])
+        assert graph.num_nodes == 0

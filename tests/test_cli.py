@@ -1,0 +1,145 @@
+"""Tests for the command-line interface (driven through ``main(argv)``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    code = main(
+        ["generate", "social", "--nodes", "300", "--seed", "1", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def index_file(graph_file, tmp_path):
+    path = tmp_path / "graph.fppv"
+    code = main(
+        ["index", str(graph_file), "--hubs", "25", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_edge_list(self, graph_file, capsys):
+        assert graph_file.exists()
+        content = graph_file.read_text()
+        assert content.startswith("#")
+        assert len(content.splitlines()) > 100
+
+    def test_bibliographic_kind(self, tmp_path, capsys):
+        path = tmp_path / "bib.txt"
+        code = main(
+            ["generate", "bibliographic", "--nodes", "300", "--out", str(path)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_erdos_renyi_kind(self, tmp_path):
+        path = tmp_path / "er.txt"
+        assert main(["generate", "erdos-renyi", "--nodes", "100", "--out", str(path)]) == 0
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nonsense", "--out", str(tmp_path / "x.txt")])
+
+
+class TestInfo:
+    def test_prints_stats(self, graph_file, capsys):
+        assert main(["info", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "edges" in out
+        assert "reciprocity" in out
+        assert "effective diameter" in out
+
+
+class TestIndex:
+    def test_builds_and_reports(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "idx.fppv"
+        code = main(["index", str(graph_file), "--hubs", "20", "--out", str(path)])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "indexed 20 hubs" in out
+
+    def test_policy_flag(self, graph_file, tmp_path):
+        path = tmp_path / "idx.fppv"
+        code = main(
+            [
+                "index", str(graph_file), "--hubs", "10",
+                "--policy", "pagerank", "--out", str(path),
+            ]
+        )
+        assert code == 0
+
+
+class TestQuery:
+    def test_query_prints_ranking(self, graph_file, index_file, capsys):
+        code = main(
+            ["query", str(graph_file), str(index_file), "7", "--top", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query 7" in out
+        assert "L1 error" in out
+        # 5 ranked lines with scores.
+        ranked = [line for line in out.splitlines() if ". node" in line]
+        assert len(ranked) == 5
+        # The query node itself tops its own PPV.
+        assert "node        7" in ranked[0]
+
+    def test_accuracy_target_flag(self, graph_file, index_file, capsys):
+        code = main(
+            [
+                "query", str(graph_file), str(index_file), "7",
+                "--target-error", "0.9",
+            ]
+        )
+        assert code == 0
+
+    def test_mismatched_index_fails(self, index_file, tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        main(["generate", "social", "--nodes", "100", "--out", str(other)])
+        code = main(["query", str(other), str(index_file), "3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAutotune:
+    def test_recommends(self, graph_file, capsys):
+        code = main(["autotune", str(graph_file), "--queries", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended number of hubs" in out
+        assert "<== best" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_prog_name(self):
+        assert build_parser().prog == "repro-fastppv"
+
+
+class TestValidate:
+    def test_clean_index_passes(self, graph_file, index_file, capsys):
+        code = main(["validate", str(graph_file), str(index_file)])
+        assert code == 0
+        assert "index OK" in capsys.readouterr().out
+
+    def test_stale_index_fails(self, index_file, tmp_path, capsys):
+        # Validate against a *different* graph than the index was built on.
+        other = tmp_path / "other.txt"
+        main(["generate", "social", "--nodes", "300", "--seed", "9",
+              "--out", str(other)])
+        code = main(["validate", str(other), str(index_file), "--sample", "25"])
+        assert code == 1
+        assert "PROBLEM" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Unit tests for PPR-based graph clustering."""
+
+import numpy as np
+import pytest
+
+from repro.storage import cluster_graph
+
+
+class TestClusterGraph:
+    def test_every_node_assigned(self, small_social):
+        assignment = cluster_graph(small_social, 5, seed=1)
+        assert assignment.labels.shape == (small_social.num_nodes,)
+        assert assignment.labels.min() >= 0
+        assert assignment.labels.max() < 5
+
+    def test_anchor_owns_itself(self, small_social):
+        assignment = cluster_graph(small_social, 6, seed=2)
+        for cluster, anchor in enumerate(assignment.anchors):
+            assert assignment.labels[anchor] == cluster
+
+    def test_members_partition_nodes(self, small_social):
+        assignment = cluster_graph(small_social, 4, seed=3)
+        all_members = np.concatenate(
+            [assignment.members(c) for c in range(assignment.num_clusters)]
+        )
+        assert np.sort(all_members).tolist() == list(range(small_social.num_nodes))
+
+    def test_sizes_sum_to_n(self, small_social):
+        assignment = cluster_graph(small_social, 4, seed=3)
+        assert assignment.sizes().sum() == small_social.num_nodes
+
+    def test_more_clusters_smaller_largest_fraction(self, small_social):
+        few = cluster_graph(small_social, 3, seed=4)
+        many = cluster_graph(small_social, 12, seed=4)
+        assert many.largest_fraction(small_social) <= few.largest_fraction(
+            small_social
+        ) + 0.05
+
+    def test_deterministic(self, small_social):
+        a = cluster_graph(small_social, 5, seed=9)
+        b = cluster_graph(small_social, 5, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.anchors, b.anchors)
+
+    def test_single_cluster(self, small_social):
+        assignment = cluster_graph(small_social, 1, seed=0)
+        assert assignment.num_clusters == 1
+        assert np.all(assignment.labels == 0)
+        assert assignment.largest_fraction(small_social) == pytest.approx(1.0)
+
+    def test_clusters_capped_at_nodes(self):
+        from repro.graph.generators import cycle_graph
+
+        assignment = cluster_graph(cycle_graph(3), 10, seed=0)
+        assert assignment.num_clusters == 3
+
+    def test_invalid_count(self, small_social):
+        with pytest.raises(ValueError):
+            cluster_graph(small_social, 0)
+
+    def test_locality(self, small_social):
+        # PPR clustering should keep most edges within clusters better
+        # than a random assignment does.
+        assignment = cluster_graph(small_social, 5, seed=1)
+        rng = np.random.default_rng(1)
+        random_labels = rng.integers(0, 5, size=small_social.num_nodes)
+        def internal_fraction(labels):
+            internal = sum(
+                1 for s, d in small_social.edges() if labels[s] == labels[d]
+            )
+            return internal / small_social.num_edges
+        assert internal_fraction(assignment.labels) > internal_fraction(
+            random_labels
+        )

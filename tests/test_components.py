@@ -1,0 +1,111 @@
+"""Tests for connectivity algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.components import (
+    Components,
+    largest_strongly_connected_subgraph,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        result = strongly_connected_components(cycle_graph(5))
+        assert result.count == 1
+        assert np.all(result.labels == 0)
+
+    def test_path_is_singletons(self):
+        result = strongly_connected_components(path_graph(4))
+        assert result.count == 4
+        assert np.unique(result.labels).size == 4
+
+    def test_two_cycles_with_bridge(self):
+        # 0-1-2 cycle -> bridge -> 3-4 cycle.
+        graph = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]
+        )
+        result = strongly_connected_components(graph)
+        assert result.count == 2
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == result.labels[4]
+        assert result.labels[0] != result.labels[3]
+
+    def test_reverse_topological_ids(self):
+        # Tarjan assigns the sink component the smallest id.
+        graph = from_edges([(0, 1)], num_nodes=2)
+        result = strongly_connected_components(graph)
+        assert result.labels[1] < result.labels[0]
+
+    def test_self_loop_single_component(self):
+        graph = from_edges([(0, 0)], num_nodes=1)
+        assert strongly_connected_components(graph).count == 1
+
+    def test_empty_graph(self):
+        graph = from_edges([], num_nodes=0)
+        result = strongly_connected_components(graph)
+        assert result.count == 0
+        assert result.largest().size == 0
+
+    def test_deep_path_no_recursion_limit(self):
+        # 20000-node path: a recursive Tarjan would hit the stack limit.
+        graph = path_graph(20000)
+        result = strongly_connected_components(graph)
+        assert result.count == 20000
+
+    def test_matches_networkx(self, small_social):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.DiGraph(list(small_social.edges()))
+        nx_graph.add_nodes_from(range(small_social.num_nodes))
+        expected = list(networkx.strongly_connected_components(nx_graph))
+        result = strongly_connected_components(small_social)
+        assert result.count == len(expected)
+        # Same partition: every networkx component maps to one label.
+        for component in expected:
+            labels = {int(result.labels[node]) for node in component}
+            assert len(labels) == 1
+
+
+class TestWCC:
+    def test_direction_ignored(self):
+        graph = from_edges([(0, 1), (2, 1)], num_nodes=4)
+        result = weakly_connected_components(graph)
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] != result.labels[0]
+        assert result.count == 2
+
+    def test_complete_graph_single(self):
+        assert weakly_connected_components(complete_graph(4)).count == 1
+
+    def test_isolated_nodes(self):
+        graph = from_edges([], num_nodes=3)
+        assert weakly_connected_components(graph).count == 3
+
+
+class TestComponentsHelpers:
+    def test_members_and_sizes(self):
+        result = Components(labels=np.array([0, 1, 0, 1, 1]), count=2)
+        assert result.members(0).tolist() == [0, 2]
+        assert result.sizes().tolist() == [2, 3]
+        assert result.largest().tolist() == [1, 3, 4]
+
+    def test_largest_scc_subgraph(self):
+        graph = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]
+        )
+        sub, node_map = largest_strongly_connected_subgraph(graph)
+        assert sub.num_nodes == 3
+        assert node_map.tolist() == [0, 1, 2]
+        # The subgraph is strongly connected.
+        assert strongly_connected_components(sub).count == 1
+
+    def test_largest_scc_makes_ppv_a_distribution(self, small_social):
+        from repro.core.exact import exact_ppv
+
+        sub, _ = largest_strongly_connected_subgraph(small_social)
+        scores = exact_ppv(sub, 0)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)

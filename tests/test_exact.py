@@ -1,0 +1,109 @@
+"""Unit tests for exact PPV solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_ppv, exact_ppv_dense_solve, exact_ppv_matrix
+from repro.graph import from_edges
+from repro.graph.generators import complete_graph, cycle_graph
+from tests.conftest import A, ALPHA
+
+
+class TestExactPPV:
+    def test_matches_dense_solve(self, fig1_graph):
+        power = exact_ppv(fig1_graph, A, alpha=ALPHA)
+        solve = exact_ppv_dense_solve(fig1_graph, A, alpha=ALPHA)
+        np.testing.assert_allclose(power, solve, atol=1e-10)
+
+    def test_matches_dense_solve_cyclic(self, cyclic_graph):
+        for query in range(cyclic_graph.num_nodes):
+            power = exact_ppv(cyclic_graph, query, alpha=ALPHA)
+            solve = exact_ppv_dense_solve(cyclic_graph, query, alpha=ALPHA)
+            np.testing.assert_allclose(power, solve, atol=1e-10)
+
+    def test_sums_to_one_without_dangling(self, cyclic_graph):
+        scores = exact_ppv(cyclic_graph, 0, alpha=ALPHA)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_dangling_loses_mass(self):
+        graph = from_edges([(0, 1)], num_nodes=2)  # node 1 dangling
+        scores = exact_ppv(graph, 0, alpha=ALPHA)
+        # Mass: alpha at 0, (1-alpha)*alpha at 1, rest dies at node 1.
+        assert scores[0] == pytest.approx(ALPHA)
+        assert scores[1] == pytest.approx((1 - ALPHA) * ALPHA)
+        assert scores.sum() < 1.0
+
+    def test_query_score_at_least_alpha(self, small_social):
+        scores = exact_ppv(small_social, 3, alpha=ALPHA)
+        assert scores[3] >= ALPHA
+
+    def test_symmetric_on_cycle(self):
+        graph = cycle_graph(5)
+        a = exact_ppv(graph, 0, alpha=ALPHA)
+        b = exact_ppv(graph, 2, alpha=ALPHA)
+        # Rotational symmetry: PPV of node 2 is PPV of node 0 rolled by 2.
+        np.testing.assert_allclose(np.roll(a, 2), b, atol=1e-12)
+
+    def test_uniform_teleport_on_complete_graph(self):
+        graph = complete_graph(4)
+        scores = exact_ppv(graph, 0, alpha=ALPHA)
+        assert scores[0] > scores[1]
+        assert scores[1] == pytest.approx(scores[2])
+
+    def test_query_out_of_range(self, fig1_graph):
+        with pytest.raises(ValueError):
+            exact_ppv(fig1_graph, 99)
+        with pytest.raises(ValueError):
+            exact_ppv(fig1_graph, -1)
+
+    def test_invalid_alpha(self, fig1_graph):
+        with pytest.raises(ValueError):
+            exact_ppv(fig1_graph, 0, alpha=1.5)
+
+
+class TestExactPPVMatrix:
+    def test_matches_single_queries(self, small_social):
+        queries = [0, 7, 42]
+        batch = exact_ppv_matrix(small_social, queries, alpha=ALPHA)
+        for row, query in enumerate(queries):
+            single = exact_ppv(small_social, query, alpha=ALPHA)
+            np.testing.assert_allclose(batch[row], single, atol=1e-9)
+
+    def test_shape(self, small_social):
+        batch = exact_ppv_matrix(small_social, [1, 2], alpha=ALPHA)
+        assert batch.shape == (2, small_social.num_nodes)
+
+    def test_empty_batch(self, small_social):
+        batch = exact_ppv_matrix(small_social, [], alpha=ALPHA)
+        assert batch.shape == (0, small_social.num_nodes)
+
+    def test_out_of_range_query(self, small_social):
+        with pytest.raises(ValueError):
+            exact_ppv_matrix(small_social, [0, 10**6])
+
+
+class TestWeightedExactSolvers:
+    def test_weighted_power_vs_solve(self):
+        from repro.graph import from_weighted_edges
+
+        graph = from_weighted_edges(
+            [(0, 1, 2.0), (1, 2, 1.0), (2, 0, 3.0), (0, 2, 1.0), (2, 1, 0.5)]
+        )
+        for query in range(3):
+            power = exact_ppv(graph, query, alpha=ALPHA)
+            solve = exact_ppv_dense_solve(graph, query, alpha=ALPHA)
+            np.testing.assert_allclose(power, solve, atol=1e-10)
+
+    def test_batch_matches_weighted_singles(self):
+        from repro.graph import from_weighted_edges
+
+        graph = from_weighted_edges(
+            [(0, 1, 2.0), (1, 0, 1.0), (1, 2, 4.0), (2, 1, 1.0)]
+        )
+        batch = exact_ppv_matrix(graph, [0, 2], alpha=ALPHA)
+        np.testing.assert_allclose(
+            batch[0], exact_ppv(graph, 0, alpha=ALPHA), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            batch[1], exact_ppv(graph, 2, alpha=ALPHA), atol=1e-9
+        )

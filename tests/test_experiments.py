@@ -1,0 +1,167 @@
+"""Unit tests for the experiment harness (workloads, configs, runner, report)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_ppv
+from repro.experiments import (
+    CONFIGS,
+    Config,
+    Table,
+    dblp_graph,
+    format_table,
+    livejournal_graph,
+    make_workload,
+    run_fastppv,
+    run_hubrank,
+    run_montecarlo,
+)
+
+
+class TestDatasets:
+    def test_dblp_scales(self):
+        small = dblp_graph(scale=0.05)
+        large = dblp_graph(scale=0.1)
+        assert small.graph.num_nodes < large.graph.num_nodes
+
+    def test_livejournal_scales(self):
+        small = livejournal_graph(scale=0.05)
+        large = livejournal_graph(scale=0.1)
+        assert small.num_nodes < large.num_nodes
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            dblp_graph(scale=0.0)
+        with pytest.raises(ValueError):
+            livejournal_graph(scale=-1.0)
+
+    def test_deterministic(self):
+        assert livejournal_graph(scale=0.05) == livejournal_graph(scale=0.05)
+
+
+class TestWorkload:
+    def test_exact_rows_match(self, small_social):
+        workload = make_workload(small_social, num_queries=5, seed=1)
+        assert len(workload) == 5
+        for i, (query, exact) in enumerate(workload):
+            np.testing.assert_allclose(
+                exact, exact_ppv(small_social, query), atol=1e-9
+            )
+            assert query == workload.queries[i]
+
+    def test_queries_unique_sorted(self, small_social):
+        workload = make_workload(small_social, num_queries=10, seed=2)
+        assert np.all(np.diff(workload.queries) > 0)
+
+    def test_capped_at_num_nodes(self):
+        from repro.graph.generators import cycle_graph
+
+        workload = make_workload(cycle_graph(4), num_queries=100)
+        assert len(workload) == 4
+
+    def test_invalid_count(self, small_social):
+        with pytest.raises(ValueError):
+            make_workload(small_social, num_queries=0)
+
+
+class TestConfigs:
+    def test_four_configs(self):
+        assert set(CONFIGS) == {"I", "II", "III", "IV"}
+
+    def test_datasets_valid(self):
+        for config in CONFIGS.values():
+            assert config.dataset in ("dblp", "livejournal")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            Config(
+                name="X",
+                dataset="twitter",
+                num_hubs=10,
+                hubrank_push=1e-3,
+                montecarlo_samples=100,
+                fastppv_eta=1,
+            )
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def workload(self, small_social):
+        return make_workload(small_social, num_queries=6, seed=0)
+
+    def test_run_fastppv(self, small_social, workload):
+        outcome = run_fastppv(small_social, workload, num_hubs=30, eta=2)
+        assert outcome.method == "FastPPV"
+        assert 0.0 <= outcome.accuracy.precision <= 1.0
+        assert outcome.online_ms_per_query > 0
+        assert outcome.offline_seconds > 0
+        assert outcome.online_work_per_query > 0
+
+    def test_run_fastppv_with_prebuilt_index(
+        self, small_social, workload, small_social_index
+    ):
+        outcome = run_fastppv(
+            small_social, workload, num_hubs=0, index=small_social_index
+        )
+        assert outcome.offline_seconds == small_social_index.stats.build_seconds
+
+    def test_run_hubrank(self, small_social, workload):
+        outcome = run_hubrank(
+            small_social, workload, num_hubs=20, push_threshold=1e-3
+        )
+        assert outcome.method == "HubRankP"
+        assert outcome.accuracy.precision > 0.3
+
+    def test_run_montecarlo(self, small_social, workload):
+        outcome = run_montecarlo(
+            small_social, workload, num_hubs=20, samples_per_query=400
+        )
+        assert outcome.method == "MonteCarlo"
+        assert outcome.accuracy.precision > 0.3
+        assert outcome.online_work_per_query > 0
+
+    def test_outcome_row_shape(self, small_social, workload):
+        outcome = run_fastppv(small_social, workload, num_hubs=10, eta=1)
+        assert len(outcome.row()) == 8
+        assert outcome.row()[0] == "FastPPV"
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table(title="t", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = Table(title="My Table", headers=["name", "value"])
+        table.add_row("x", 1.5)
+        table.add_row("y", 0.25)
+        table.notes.append("hello")
+        text = table.render()
+        assert "My Table" in text
+        assert "name" in text and "value" in text
+        assert "1.50" in text and "0.2500" in text
+        assert "note: hello" in text
+
+    def test_column_accessor(self):
+        table = Table(title="t", headers=["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_format_table_one_shot(self):
+        text = format_table("T", ["x"], [[1], [2]])
+        assert "T" in text and "x" in text
+
+    def test_float_formatting(self):
+        table = Table(title="t", headers=["v"])
+        table.add_row(0.0)
+        table.add_row(12345.0)
+        table.add_row(2.5)
+        text = table.render()
+        assert "0" in text
+        assert "12,345" in text
+        assert "2.50" in text
+
+    def test_empty_table_renders(self):
+        assert "t" in Table(title="t", headers=["a"]).render()

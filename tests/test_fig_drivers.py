@@ -1,0 +1,172 @@
+"""Tests for the per-figure experiment drivers (tiny scale).
+
+These validate driver mechanics — row counts, column structure, data
+plumbing — not the paper's quantitative claims (the benchmarks assert
+those at full scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_index, select_hubs
+from repro.core.hubs import HubPolicy
+from repro.experiments import (
+    dblp_graph,
+    fig5_table,
+    fig6_table,
+    fig7_tables,
+    fig7_work_table,
+    fig8_table,
+    fig9_table,
+    fig10_table,
+    fig11_table,
+    fig12_table,
+    fig13_table,
+    fig14_table,
+    fig15_table,
+    fig16_table,
+    livejournal_graph,
+    make_workload,
+    run_baseline_comparison,
+    run_disk_sweep,
+    run_hub_sweep,
+    run_iteration_sweep,
+    run_policy_comparison,
+    run_sample_scalability,
+    run_snapshot_scalability,
+)
+from repro.experiments.configs import CONFIGS, Config
+
+
+@pytest.fixture(scope="module")
+def tiny_lj():
+    return livejournal_graph(scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload(tiny_lj):
+    return make_workload(tiny_lj, num_queries=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_index(tiny_lj):
+    return build_index(tiny_lj, select_hubs(tiny_lj, 30))
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        configs = {
+            "I": Config(
+                name="I", dataset="dblp", num_hubs=20,
+                hubrank_push=1e-3, montecarlo_samples=300, fastppv_eta=1,
+            ),
+            "III": Config(
+                name="III", dataset="livejournal", num_hubs=30,
+                hubrank_push=1e-3, montecarlo_samples=300, fastppv_eta=2,
+            ),
+        }
+        return run_baseline_comparison(
+            scale=0.08, num_queries=5, configs=configs
+        )
+
+    def test_three_methods_per_config(self, results):
+        for outcomes in results.values():
+            assert [o.method for o in outcomes] == [
+                "FastPPV", "HubRankP", "MonteCarlo",
+            ]
+
+    def test_fig5_covers_default_configs(self):
+        table = fig5_table()
+        assert table.column("Config") == list(CONFIGS)
+
+    def test_fig6_rows(self, results):
+        table = fig6_table(results)
+        assert len(table.rows) == 3 * len(results)
+        for value in table.column("Precision"):
+            assert 0.0 <= value <= 1.0
+
+    def test_fig7_tables(self, results):
+        online, space, offline = fig7_tables(results)
+        for table in (online, space, offline):
+            assert len(table.rows) == len(results)
+            assert table.headers == ["Config", "FastPPV", "HubRankP", "MonteCarlo"]
+
+    def test_fig7_work_table(self, results):
+        table = fig7_work_table(results)
+        for row in table.rows:
+            assert all(v > 0 for v in row[1:])
+
+
+class TestPolicyDriver:
+    def test_three_policies(self, tiny_lj, tiny_workload):
+        results = run_policy_comparison(tiny_lj, tiny_workload, num_hubs=20)
+        assert [r.policy for r in results] == [
+            HubPolicy.EXPECTED_UTILITY,
+            HubPolicy.PAGERANK,
+            HubPolicy.OUT_DEGREE,
+        ]
+        assert len(fig8_table(results, "x").rows) == 3
+        assert len(fig9_table(results, "x").rows) == 3
+
+    def test_random_policy_optional(self, tiny_lj, tiny_workload):
+        results = run_policy_comparison(
+            tiny_lj, tiny_workload, num_hubs=20, include_random=True
+        )
+        assert len(results) == 4
+
+
+class TestHubSweepDriver:
+    def test_sweep_rows(self, tiny_lj, tiny_workload):
+        points = run_hub_sweep(tiny_lj, tiny_workload, [10, 25])
+        assert [p.num_hubs for p in points] == [10, 25]
+        assert len(fig10_table(points, "x").rows) == 2
+        table11 = fig11_table(points, "x")
+        assert table11.column("|H|") == [10, 25]
+        for value in table11.column("Total time (s)"):
+            assert value > 0
+
+
+class TestIterationDriver:
+    def test_etas(self, tiny_lj, tiny_workload, tiny_index):
+        points = run_iteration_sweep(
+            tiny_lj, tiny_workload, tiny_index, etas=(0, 2)
+        )
+        table = fig12_table(points, "x")
+        assert table.column("eta") == [0, 2]
+        sims = table.column("L1 sim")
+        assert sims[1] >= sims[0] - 0.01
+
+
+class TestScalabilityDriver:
+    def test_snapshot_series(self):
+        bib = dblp_graph(scale=0.08)
+        points = run_snapshot_scalability(
+            bib, years=(2002, 2010), num_queries=4
+        )
+        assert [p.label for p in points] == ["2002", "2010"]
+        assert points[0].num_nodes < points[1].num_nodes
+        assert len(fig13_table(points, "x").rows) == 2
+        assert len(fig14_table(points, "x").rows) == 2
+        assert len(fig15_table(points, "x").rows) == 2
+
+    def test_sample_series(self, tiny_lj):
+        points = run_sample_scalability(
+            tiny_lj, fractions=(0.5, 1.0), num_queries=4
+        )
+        assert [p.label for p in points] == ["S1", "S2"]
+        assert points[0].num_edges < points[1].num_edges
+
+
+class TestDiskDriver:
+    def test_sweep(self, tiny_lj, tiny_index, tmp_path):
+        rng = np.random.default_rng(0)
+        queries = rng.choice(tiny_lj.num_nodes, size=5, replace=False).tolist()
+        points = run_disk_sweep(
+            tiny_lj, tiny_index, cluster_counts=(3, 6),
+            queries=queries, workdir=str(tmp_path),
+        )
+        table = fig16_table(points, "x")
+        assert table.column("# Clusters") == [3, 6]
+        memory = table.column("Memory need (%)")
+        assert memory[1] <= memory[0] + 5.0

@@ -1,0 +1,160 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    bibliographic_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    social_graph,
+    star_graph,
+)
+
+
+class TestBibliographicGraph:
+    def test_node_layout(self, small_bib):
+        graph = small_bib.graph
+        total = small_bib.num_authors + small_bib.num_papers + small_bib.num_venues
+        assert graph.num_nodes == total
+        assert small_bib.author_node(0) == 0
+        assert small_bib.paper_node(0) == small_bib.num_authors
+        assert small_bib.venue_node(0) == small_bib.num_authors + small_bib.num_papers
+
+    def test_node_kind(self, small_bib):
+        assert small_bib.node_kind(0) == "author"
+        assert small_bib.node_kind(small_bib.paper_node(0)) == "paper"
+        assert small_bib.node_kind(small_bib.venue_node(0)) == "venue"
+
+    def test_undirected(self, small_bib):
+        graph = small_bib.graph
+        for src, dst in list(graph.edges())[:200]:
+            assert graph.has_edge(dst, src)
+
+    def test_tripartite(self, small_bib):
+        # Papers connect only to authors and venues; authors/venues only to papers.
+        graph = small_bib.graph
+        for paper in range(small_bib.num_papers):
+            node = small_bib.paper_node(paper)
+            for nbr in graph.out_neighbors(node):
+                assert small_bib.node_kind(int(nbr)) in ("author", "venue")
+        for author in range(small_bib.num_authors):
+            for nbr in graph.out_neighbors(author):
+                assert small_bib.node_kind(int(nbr)) == "paper"
+
+    def test_every_paper_has_venue_and_author(self, small_bib):
+        graph = small_bib.graph
+        for paper in range(small_bib.num_papers):
+            kinds = {
+                small_bib.node_kind(int(v))
+                for v in graph.out_neighbors(small_bib.paper_node(paper))
+            }
+            assert "venue" in kinds
+            assert "author" in kinds
+
+    def test_years_sorted_and_in_range(self, small_bib):
+        years = small_bib.paper_years
+        assert years.size == small_bib.num_papers
+        assert np.all(np.diff(years) >= 0)
+        assert years.min() >= 1994 and years.max() <= 2010
+
+    def test_deterministic(self):
+        a = bibliographic_graph(num_authors=30, num_papers=50, num_venues=5, seed=9)
+        b = bibliographic_graph(num_authors=30, num_papers=50, num_venues=5, seed=9)
+        assert a.graph == b.graph
+        assert np.array_equal(a.paper_years, b.paper_years)
+
+    def test_seed_changes_graph(self):
+        a = bibliographic_graph(num_authors=30, num_papers=50, num_venues=5, seed=1)
+        b = bibliographic_graph(num_authors=30, num_papers=50, num_venues=5, seed=2)
+        assert a.graph != b.graph
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(ValueError):
+            bibliographic_graph(num_authors=0, num_papers=10, num_venues=2)
+
+    def test_rejects_bad_year_range(self):
+        with pytest.raises(ValueError):
+            bibliographic_graph(
+                num_authors=5, num_papers=5, num_venues=2, year_range=(2010, 1994)
+            )
+
+    def test_skewed_author_degrees(self):
+        bib = bibliographic_graph(num_authors=300, num_papers=900, num_venues=20, seed=4)
+        author_degrees = bib.graph.out_degrees[: bib.num_authors]
+        # Zipf productivity: the busiest author far exceeds the median.
+        assert author_degrees.max() >= 5 * max(np.median(author_degrees), 1)
+
+
+class TestSocialGraph:
+    def test_no_dangling_nodes(self, small_social):
+        assert int((small_social.out_degrees == 0).sum()) == 0
+
+    def test_deterministic(self):
+        a = social_graph(num_nodes=100, seed=3)
+        b = social_graph(num_nodes=100, seed=3)
+        assert a == b
+
+    def test_directed_not_fully_reciprocal(self):
+        graph = social_graph(num_nodes=300, reciprocity=0.3, seed=1)
+        one_way = sum(1 for s, d in graph.edges() if not graph.has_edge(d, s))
+        assert one_way > 0
+
+    def test_full_reciprocity(self):
+        graph = social_graph(num_nodes=120, reciprocity=1.0, seed=1)
+        for src, dst in graph.edges():
+            assert graph.has_edge(dst, src)
+
+    def test_preferential_attachment_skew(self):
+        graph = social_graph(num_nodes=800, seed=2)
+        in_degrees = graph.in_degrees()
+        assert in_degrees.max() >= 10 * max(np.median(in_degrees), 1)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            social_graph(num_nodes=1)
+
+    def test_rejects_bad_reciprocity(self):
+        with pytest.raises(ValueError):
+            social_graph(num_nodes=10, reciprocity=1.5)
+
+    def test_no_self_loops(self, small_social):
+        for src, dst in small_social.edges():
+            assert src != dst
+
+
+class TestSmallTopologies:
+    def test_cycle(self):
+        graph = cycle_graph(4)
+        assert sorted(graph.edges()) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_path(self):
+        graph = path_graph(3)
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+        assert graph.out_degree(2) == 0
+
+    def test_star(self):
+        graph = star_graph(3)
+        assert graph.out_degree(0) == 3
+        assert all(graph.has_edge(leaf, 0) for leaf in (1, 2, 3))
+
+    def test_complete(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12
+
+    def test_erdos_renyi_bounds(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=1)
+        assert graph.num_nodes == 30
+        assert 0 < graph.num_edges < 30 * 29
+        for src, dst in graph.edges():
+            assert src != dst
+
+    def test_erdos_renyi_p_zero_and_one(self):
+        assert erdos_renyi_graph(10, 0.0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0).num_edges == 90
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)

@@ -1,0 +1,160 @@
+"""Tests for the hitting-time generalisation of scheduled approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.hitting import exact_hitting, scheduled_hitting
+from repro.graph import from_edges
+from repro.graph.generators import cycle_graph, path_graph
+
+BETA = 0.85
+
+
+class TestExactHitting:
+    def test_target_is_one(self, cyclic_graph):
+        assert exact_hitting(cyclic_graph, 2, 2, BETA) == 1.0
+
+    def test_path_graph_analytic(self):
+        # On 0 -> 1 -> 2, f_2(0) = beta^2 exactly.
+        graph = path_graph(3)
+        assert exact_hitting(graph, 0, 2, BETA) == pytest.approx(BETA**2)
+        assert exact_hitting(graph, 1, 2, BETA) == pytest.approx(BETA)
+
+    def test_unreachable_target_zero(self):
+        graph = path_graph(3)
+        assert exact_hitting(graph, 2, 0, BETA) == pytest.approx(0.0)
+
+    def test_cycle_analytic(self):
+        # On a directed 4-cycle, f from distance d is beta^d.
+        graph = cycle_graph(4)
+        for d in range(1, 4):
+            assert exact_hitting(graph, 0, d, BETA) == pytest.approx(BETA**d)
+
+    def test_branching(self):
+        # 0 -> {1, 2}, 1 -> 3, 2 -> 3: f_3(0) = beta * beta = beta^2.
+        graph = from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert exact_hitting(graph, 0, 3, BETA) == pytest.approx(BETA**2)
+
+    def test_invalid_beta(self, cyclic_graph):
+        with pytest.raises(ValueError):
+            exact_hitting(cyclic_graph, 0, 1, beta=1.0)
+
+    def test_out_of_range(self, cyclic_graph):
+        with pytest.raises(ValueError):
+            exact_hitting(cyclic_graph, 0, 99)
+
+
+class TestScheduledHitting:
+    def hub_mask(self, graph, hubs):
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[list(hubs)] = True
+        return mask
+
+    def test_no_hubs_matches_exact(self, cyclic_graph):
+        mask = self.hub_mask(cyclic_graph, [])
+        for target in range(cyclic_graph.num_nodes):
+            estimate = scheduled_hitting(
+                cyclic_graph, 0, target, mask, BETA, epsilon=1e-12
+            )
+            expected = exact_hitting(cyclic_graph, 0, target, BETA)
+            assert estimate.value == pytest.approx(expected, abs=1e-6)
+
+    def test_with_hubs_matches_exact(self, cyclic_graph):
+        mask = self.hub_mask(cyclic_graph, [1, 2])
+        for query in range(cyclic_graph.num_nodes):
+            estimate = scheduled_hitting(
+                cyclic_graph, query, 3, mask, BETA, max_levels=80, epsilon=1e-12
+            )
+            expected = exact_hitting(cyclic_graph, query, 3, BETA)
+            assert estimate.value == pytest.approx(expected, abs=1e-6)
+
+    def test_fig1_graph_with_hubs(self, fig1_graph, fig1_hub_mask):
+        for target in (2, 4):
+            estimate = scheduled_hitting(
+                fig1_graph, 0, target, fig1_hub_mask, BETA,
+                max_levels=30, epsilon=1e-12,
+            )
+            expected = exact_hitting(fig1_graph, 0, target, BETA)
+            assert estimate.value == pytest.approx(expected, abs=1e-9)
+
+    def test_history_monotone(self, fig1_graph, fig1_hub_mask):
+        estimate = scheduled_hitting(
+            fig1_graph, 0, 2, fig1_hub_mask, BETA, epsilon=1e-12
+        )
+        assert all(
+            b >= a - 1e-15 for a, b in zip(estimate.history, estimate.history[1:])
+        )
+
+    def test_bracket_contains_exact(self, fig1_graph, fig1_hub_mask):
+        # value <= exact <= value + remaining_mass after any level budget.
+        exact = exact_hitting(fig1_graph, 0, 2, BETA)
+        for levels in range(4):
+            estimate = scheduled_hitting(
+                fig1_graph, 0, 2, fig1_hub_mask, BETA,
+                max_levels=levels, epsilon=1e-12,
+            )
+            assert estimate.value <= exact + 1e-9
+            assert estimate.value + estimate.remaining_mass >= exact - 1e-9
+
+    def test_query_equals_target(self, fig1_graph, fig1_hub_mask):
+        estimate = scheduled_hitting(fig1_graph, 2, 2, fig1_hub_mask, BETA)
+        assert estimate.value == pytest.approx(1.0)
+
+    def test_wrong_mask_shape(self, fig1_graph):
+        with pytest.raises(ValueError):
+            scheduled_hitting(fig1_graph, 0, 2, np.zeros(3, dtype=bool))
+
+    def test_first_passage_not_full_reachability(self):
+        # 0 -> 1 -> 2 -> 1: tours reaching 1 a second time must not count.
+        graph = from_edges([(0, 1), (1, 2), (2, 1)])
+        mask = np.zeros(3, dtype=bool)
+        estimate = scheduled_hitting(graph, 0, 1, mask, BETA, epsilon=1e-12)
+        # Only the direct step counts: f_1(0) = beta.
+        assert estimate.value == pytest.approx(BETA, abs=1e-9)
+
+
+class TestScheduledCommute:
+    def test_commute_is_product_of_legs(self, cyclic_graph):
+        from repro.core.hitting import scheduled_commute
+
+        mask = np.zeros(cyclic_graph.num_nodes, dtype=bool)
+        mask[1] = True
+        commute = scheduled_commute(
+            cyclic_graph, 0, 2, mask, BETA, max_levels=60, epsilon=1e-12
+        )
+        forward = exact_hitting(cyclic_graph, 0, 2, BETA)
+        backward = exact_hitting(cyclic_graph, 2, 0, BETA)
+        assert commute.value == pytest.approx(forward * backward, abs=1e-6)
+
+    def test_commute_bracket_contains_exact(self, fig1_graph, fig1_hub_mask):
+        from repro.core.hitting import scheduled_commute
+
+        exact = exact_hitting(fig1_graph, 0, 2, BETA) * exact_hitting(
+            fig1_graph, 2, 0, BETA
+        )
+        for levels in (0, 1, 3):
+            estimate = scheduled_commute(
+                fig1_graph, 0, 2, fig1_hub_mask, BETA,
+                max_levels=levels, epsilon=1e-12,
+            )
+            assert estimate.value <= exact + 1e-9
+            assert estimate.value + estimate.remaining_mass >= exact - 1e-9
+
+    def test_commute_symmetric(self, cyclic_graph):
+        from repro.core.hitting import scheduled_commute
+
+        mask = np.zeros(cyclic_graph.num_nodes, dtype=bool)
+        a = scheduled_commute(cyclic_graph, 0, 2, mask, BETA, epsilon=1e-12)
+        b = scheduled_commute(cyclic_graph, 2, 0, mask, BETA, epsilon=1e-12)
+        assert a.value == pytest.approx(b.value, abs=1e-9)
+
+    def test_commute_history_monotone(self, fig1_graph, fig1_hub_mask):
+        from repro.core.hitting import scheduled_commute
+
+        estimate = scheduled_commute(
+            fig1_graph, 0, 3, fig1_hub_mask, BETA, epsilon=1e-12
+        )
+        assert all(
+            later >= earlier - 1e-15
+            for earlier, later in zip(estimate.history, estimate.history[1:])
+        )

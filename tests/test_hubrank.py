@@ -1,0 +1,74 @@
+"""Unit tests for the HubRankP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HubRankP
+from repro.core.exact import exact_ppv
+from repro.metrics import precision_at_k
+from tests.conftest import ALPHA
+
+
+@pytest.fixture(scope="module")
+def engine(small_social):
+    return HubRankP(small_social, num_hubs=30, push_threshold=1e-4)
+
+
+class TestOffline:
+    def test_hub_count(self, engine):
+        assert engine.hubs.size == 30
+        assert engine.offline_stats.num_hubs == 30
+
+    def test_stats_accounting(self, engine):
+        assert engine.offline_stats.build_seconds > 0.0
+        assert engine.offline_stats.stored_bytes > 0
+        assert engine.offline_stats.stored_entries > 0
+
+    def test_hubs_have_high_benefit(self, engine, small_social):
+        from repro.graph import global_pagerank
+
+        pagerank = global_pagerank(small_social, alpha=ALPHA)
+        benefit = pagerank * np.log2(2.0 + small_social.out_degrees)
+        hub_benefit = benefit[engine.hubs].min()
+        non_hub = np.setdiff1d(np.arange(small_social.num_nodes), engine.hubs)
+        assert hub_benefit >= benefit[non_hub].max() - 1e-12
+
+    def test_invalid_threshold(self, small_social):
+        with pytest.raises(ValueError):
+            HubRankP(small_social, num_hubs=5, push_threshold=0.0)
+
+
+class TestOnline:
+    def test_reasonable_accuracy(self, engine, small_social):
+        exact = exact_ppv(small_social, 17, alpha=ALPHA)
+        result = engine.query(17)
+        assert precision_at_k(exact, result.scores, k=10) >= 0.7
+
+    def test_result_fields(self, engine):
+        result = engine.query(4)
+        assert result.query == 4
+        assert result.seconds > 0.0
+        assert result.scores.shape == (engine.graph.num_nodes,)
+
+    def test_top_k_sorted(self, engine):
+        result = engine.query(4)
+        top = result.top_k(5)
+        values = result.scores[top]
+        assert np.all(np.diff(values) <= 1e-15)
+
+    def test_query_at_hub(self, engine, small_social):
+        hub = int(engine.hubs[0])
+        exact = exact_ppv(small_social, hub, alpha=ALPHA)
+        result = engine.query(hub)
+        assert precision_at_k(exact, result.scores, k=10) >= 0.6
+
+    def test_finer_threshold_more_mass(self, small_social):
+        coarse = HubRankP(small_social, num_hubs=10, push_threshold=1e-2)
+        fine = HubRankP(small_social, num_hubs=10, push_threshold=1e-5)
+        q = 23
+        assert fine.query(q).scores.sum() >= coarse.query(q).scores.sum() - 1e-9
+
+    def test_estimates_bounded_by_one(self, engine):
+        result = engine.query(9)
+        # Clipped hub vectors can only lose mass; the total stays <= 1.
+        assert result.scores.sum() <= 1.0 + 1e-6

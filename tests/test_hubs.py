@@ -1,0 +1,83 @@
+"""Unit tests for hub selection policies (Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hubs import HubPolicy, hub_scores, select_hubs
+from repro.graph import from_edges, global_pagerank
+from repro.graph.generators import star_graph
+
+
+class TestHubScores:
+    def test_expected_utility_is_product(self, small_social):
+        pagerank = global_pagerank(small_social)
+        scores = hub_scores(
+            small_social, HubPolicy.EXPECTED_UTILITY, pagerank=pagerank
+        )
+        np.testing.assert_allclose(
+            scores, pagerank * small_social.out_degrees, atol=1e-15
+        )
+
+    def test_out_degree_policy(self, small_social):
+        scores = hub_scores(small_social, HubPolicy.OUT_DEGREE)
+        np.testing.assert_array_equal(scores, small_social.out_degrees)
+
+    def test_in_degree_policy(self, small_social):
+        scores = hub_scores(small_social, HubPolicy.IN_DEGREE)
+        np.testing.assert_array_equal(scores, small_social.in_degrees())
+
+    def test_pagerank_policy_reuses_given_vector(self, small_social):
+        fake = np.arange(small_social.num_nodes, dtype=float)
+        scores = hub_scores(small_social, HubPolicy.PAGERANK, pagerank=fake)
+        np.testing.assert_array_equal(scores, fake)
+
+    def test_random_policy_deterministic_per_seed(self, small_social):
+        a = hub_scores(small_social, HubPolicy.RANDOM, seed=4)
+        b = hub_scores(small_social, HubPolicy.RANDOM, seed=4)
+        c = hub_scores(small_social, HubPolicy.RANDOM, seed=5)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestSelectHubs:
+    def test_count_and_sorted(self, small_social):
+        hubs = select_hubs(small_social, 25)
+        assert hubs.size == 25
+        assert np.all(np.diff(hubs) > 0)  # sorted, unique
+
+    def test_zero_hubs(self, small_social):
+        assert select_hubs(small_social, 0).size == 0
+
+    def test_negative_rejected(self, small_social):
+        with pytest.raises(ValueError):
+            select_hubs(small_social, -1)
+
+    def test_capped_at_num_nodes(self):
+        graph = star_graph(3)
+        hubs = select_hubs(graph, 100)
+        assert hubs.size == graph.num_nodes
+
+    def test_star_center_selected_first(self):
+        graph = star_graph(10)
+        hubs = select_hubs(graph, 1)
+        assert hubs.tolist() == [0]
+
+    def test_top_scores_selected(self, small_social):
+        pagerank = global_pagerank(small_social)
+        utility = pagerank * small_social.out_degrees
+        hubs = select_hubs(small_social, 10, pagerank=pagerank)
+        threshold = np.sort(utility)[-10]
+        assert np.all(utility[hubs] >= threshold - 1e-15)
+
+    def test_deterministic_tie_break(self):
+        # All nodes identical: the lowest ids must win.
+        graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], num_nodes=4)
+        hubs = select_hubs(graph, 2, HubPolicy.OUT_DEGREE)
+        assert hubs.tolist() == [0, 1]
+
+    def test_policies_differ_on_directed_graph(self, small_social):
+        by_eu = set(select_hubs(small_social, 20).tolist())
+        by_out = set(select_hubs(small_social, 20, HubPolicy.OUT_DEGREE).tolist())
+        by_pr = set(select_hubs(small_social, 20, HubPolicy.PAGERANK).tolist())
+        # At least one pair of policies must disagree on a directed graph.
+        assert by_eu != by_out or by_eu != by_pr

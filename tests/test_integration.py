@@ -1,0 +1,161 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a complete user journey: generate data, build the
+offline index, run online queries, score them, and cross-check the
+different engines against one another.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FastPPV,
+    StopAfterIterations,
+    StopAtL1Error,
+    build_index,
+    exact_ppv,
+    multi_node_ppv,
+    select_hubs,
+)
+from repro.baselines import HubRankP, MonteCarlo
+from repro.core.dynamic import add_edges, update_index
+from repro.experiments import make_workload, run_fastppv
+from repro.graph.generators import bibliographic_graph
+from repro.metrics import evaluate_accuracy
+from repro.storage import (
+    DiskFastPPV,
+    DiskGraphStore,
+    DiskPPVStore,
+    cluster_graph,
+    load_index,
+    save_index,
+)
+
+
+class TestFullPipeline:
+    def test_offline_online_accuracy(self, small_social):
+        hubs = select_hubs(small_social, 40)
+        index = build_index(small_social, hubs)
+        engine = FastPPV(small_social, index, delta=0.0)
+        workload = make_workload(small_social, num_queries=10, seed=4)
+        for query, exact in workload:
+            result = engine.query(query, stop=StopAfterIterations(4))
+            report = evaluate_accuracy(exact, result.scores)
+            assert report.precision >= 0.8
+            assert report.l1_similarity >= 0.8
+
+    def test_all_three_methods_agree_on_top1(self, small_social):
+        # At generous budgets, all engines should at least agree that the
+        # query node itself tops its own PPV.
+        hubs = select_hubs(small_social, 40)
+        index = build_index(small_social, hubs)
+        fastppv = FastPPV(small_social, index)
+        hubrank = HubRankP(small_social, num_hubs=40, push_threshold=1e-5)
+        montecarlo = MonteCarlo(
+            small_social, num_hubs=40, samples_per_query=2000, seed=0
+        )
+        for query in (3, 77, 200):
+            assert fastppv.query(query).top_k(1)[0] == query
+            assert hubrank.query(query).top_k(1)[0] == query
+            assert montecarlo.query(query).top_k(1)[0] == query
+
+    def test_bibliographic_scenario(self, small_bib):
+        # Scenario 1: querying a paper ranks its own authors highly.
+        graph = small_bib.graph
+        hubs = select_hubs(graph, 30)
+        index = build_index(graph, hubs)
+        engine = FastPPV(graph, index)
+        paper = small_bib.paper_node(5)
+        result = engine.query(paper, stop=StopAfterIterations(3))
+        authors = {
+            int(v)
+            for v in graph.out_neighbors(paper)
+            if small_bib.node_kind(int(v)) == "author"
+        }
+        top = set(result.top_k(len(authors) + 5).tolist())
+        assert authors & top  # co-authors appear among the top nodes
+
+    def test_disk_pipeline_roundtrip(self, small_social, tmp_path):
+        hubs = select_hubs(small_social, 30)
+        index = build_index(small_social, hubs)
+        path = tmp_path / "index.fppv"
+        save_index(index, path)
+
+        # In-memory reload answers identically.
+        reloaded = load_index(path)
+        a = FastPPV(small_social, index, delta=0.0).query(9)
+        b = FastPPV(small_social, reloaded, delta=0.0).query(9)
+        np.testing.assert_allclose(a.scores, b.scores, atol=0)
+
+        # Disk engine agrees with the in-memory engine.
+        assignment = cluster_graph(small_social, 5, seed=2)
+        store = DiskGraphStore(small_social, assignment, tmp_path / "clusters")
+        with DiskPPVStore(path) as ppv_store:
+            disk_engine = DiskFastPPV(store, ppv_store, delta=0.0,
+                                      fault_budget=10**9)
+            non_hub = next(
+                q for q in range(small_social.num_nodes) if q not in index
+            )
+            disk_result = disk_engine.query(non_hub, stop=StopAfterIterations(2))
+        memory_result = FastPPV(small_social, index, delta=0.0).query(
+            non_hub, stop=StopAfterIterations(2)
+        )
+        # Disk and memory engines agree up to their (different) epsilon
+        # truncation patterns; see tests/test_disk_engine.py.
+        assert np.abs(disk_result.scores - memory_result.scores).max() < 1e-3
+
+    def test_dynamic_then_query(self, small_social):
+        hubs = select_hubs(small_social, 30)
+        index = build_index(small_social, hubs)
+        new_graph = add_edges(small_social, [(1, 390), (390, 1)])
+        updated, _ = update_index(small_social, new_graph, index)
+        engine = FastPPV(new_graph, updated, delta=0.0)
+        result = engine.query(1, stop=StopAfterIterations(6))
+        exact = exact_ppv(new_graph, 1)
+        assert np.abs(result.scores - exact).sum() < 0.05
+
+    def test_multi_node_query_pipeline(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index)
+        result = multi_node_ppv(
+            engine, [10, 20, 30], stop=StopAfterIterations(2)
+        )
+        assert result.scores.sum() <= 1.0 + 1e-9
+        assert result.scores[10] > 0 and result.scores[20] > 0
+
+    def test_accuracy_target_journey(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index, delta=0.0)
+        result = engine.query(50, stop=StopAtL1Error(0.1))
+        exact = exact_ppv(small_social, 50)
+        assert np.abs(result.scores - exact).sum() <= 0.1 + 0.02
+
+    def test_runner_consistency_with_direct_engine(self, small_social):
+        workload = make_workload(small_social, num_queries=5, seed=7)
+        hubs = select_hubs(small_social, 30)
+        index = build_index(small_social, hubs)
+        outcome = run_fastppv(
+            small_social, workload, num_hubs=30, eta=2, index=index,
+            delta=0.0, online_epsilon=index.epsilon,
+        )
+        engine = FastPPV(small_social, index, delta=0.0)
+        reports = [
+            evaluate_accuracy(
+                exact, engine.query(q, stop=StopAfterIterations(2)).scores
+            )
+            for q, exact in workload
+        ]
+        mean_precision = float(np.mean([r.precision for r in reports]))
+        assert outcome.accuracy.precision == pytest.approx(mean_precision)
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self):
+        results = []
+        for _ in range(2):
+            bib = bibliographic_graph(
+                num_authors=60, num_papers=120, num_venues=8, seed=5
+            )
+            hubs = select_hubs(bib.graph, 15)
+            index = build_index(bib.graph, hubs)
+            engine = FastPPV(bib.graph, index)
+            results.append(engine.query(3, stop=StopAfterIterations(2)).scores)
+        np.testing.assert_array_equal(results[0], results[1])

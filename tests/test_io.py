@@ -1,0 +1,51 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph import from_edges, read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_directed_roundtrip(self, tmp_path):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)], num_nodes=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_roundtrip_preserves_isolated_with_num_nodes(self, tmp_path):
+        graph = from_edges([(0, 1)], num_nodes=5)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path, num_nodes=5)
+        assert loaded.num_nodes == 5
+
+
+class TestRead:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        graph = read_edge_list(path)
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_undirected_read(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, undirected=True)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge(0, 1)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_edge_list(tmp_path / "nope.txt")

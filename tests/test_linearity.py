@@ -1,0 +1,63 @@
+"""Unit tests for multi-node queries (Linearity Theorem)."""
+
+import numpy as np
+import pytest
+
+from repro import FastPPV, StopAfterIterations, multi_node_ppv
+
+
+@pytest.fixture(scope="module")
+def engine(small_social, small_social_index):
+    return FastPPV(small_social, small_social_index)
+
+
+class TestMultiNodePPV:
+    def test_single_node_reduces_to_query(self, engine):
+        stop = StopAfterIterations(2)
+        combined = multi_node_ppv(engine, [5], stop=stop)
+        single = engine.query(5, stop=stop)
+        np.testing.assert_allclose(combined.scores, single.scores, atol=1e-15)
+
+    def test_uniform_weights_average(self, engine):
+        stop = StopAfterIterations(1)
+        combined = multi_node_ppv(engine, [3, 8], stop=stop)
+        a = engine.query(3, stop=stop).scores
+        b = engine.query(8, stop=stop).scores
+        np.testing.assert_allclose(combined.scores, 0.5 * (a + b), atol=1e-15)
+
+    def test_custom_weights(self, engine):
+        stop = StopAfterIterations(1)
+        combined = multi_node_ppv(engine, [3, 8], weights=[3.0, 1.0], stop=stop)
+        a = engine.query(3, stop=stop).scores
+        b = engine.query(8, stop=stop).scores
+        np.testing.assert_allclose(combined.scores, 0.75 * a + 0.25 * b, atol=1e-15)
+
+    def test_weights_normalised(self, engine):
+        stop = StopAfterIterations(1)
+        w1 = multi_node_ppv(engine, [3, 8], weights=[2.0, 2.0], stop=stop)
+        w2 = multi_node_ppv(engine, [3, 8], weights=[0.5, 0.5], stop=stop)
+        np.testing.assert_allclose(w1.scores, w2.scores, atol=1e-15)
+
+    def test_error_history_is_weighted(self, engine):
+        stop = StopAfterIterations(2)
+        combined = multi_node_ppv(engine, [3, 8], stop=stop)
+        a = engine.query(3, stop=stop)
+        b = engine.query(8, stop=stop)
+        expected_final = 0.5 * (a.error_history[-1] + b.error_history[-1])
+        assert combined.error_history[-1] == pytest.approx(expected_final, abs=1e-12)
+
+    def test_empty_query_rejected(self, engine):
+        with pytest.raises(ValueError):
+            multi_node_ppv(engine, [])
+
+    def test_wrong_weight_count_rejected(self, engine):
+        with pytest.raises(ValueError):
+            multi_node_ppv(engine, [1, 2], weights=[1.0])
+
+    def test_negative_weights_rejected(self, engine):
+        with pytest.raises(ValueError):
+            multi_node_ppv(engine, [1, 2], weights=[1.0, -1.0])
+
+    def test_scores_still_a_distribution_estimate(self, engine):
+        combined = multi_node_ppv(engine, [1, 2, 3], stop=StopAfterIterations(2))
+        assert 0.0 < combined.scores.sum() <= 1.0 + 1e-9

@@ -1,0 +1,85 @@
+"""Tests for the supplementary ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.extras import (
+    intersection_similarity,
+    ndcg_at_k,
+    spearman_footrule,
+)
+
+
+class TestNDCG:
+    def test_identical_is_one(self):
+        scores = np.array([0.5, 0.3, 0.2, 0.1])
+        assert ndcg_at_k(scores, scores.copy(), k=3) == pytest.approx(1.0)
+
+    def test_order_matters(self):
+        exact = np.array([0.5, 0.3, 0.2, 0.0])
+        swapped = np.array([0.3, 0.5, 0.2, 0.0])  # top two exchanged
+        value = ndcg_at_k(exact, swapped, k=3)
+        assert 0.9 < value < 1.0
+
+    def test_worst_pick(self):
+        exact = np.array([1.0, 0.0, 0.0, 0.0])
+        bad = np.array([0.0, 1.0, 1.0, 1.0])
+        assert ndcg_at_k(exact, bad, k=1) == pytest.approx(0.0)
+
+    def test_all_zero_exact(self):
+        assert ndcg_at_k(np.zeros(4), np.ones(4), k=2) == 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.random(8), rng.random(8)
+            assert 0.0 <= ndcg_at_k(a, b, k=5) <= 1.0 + 1e-12
+
+
+class TestFootrule:
+    def test_identical_is_zero(self):
+        scores = np.array([0.4, 0.3, 0.2, 0.1])
+        assert spearman_footrule(scores, scores.copy(), k=4) == 0.0
+
+    def test_reversal_is_maximal(self):
+        exact = np.array([4.0, 3.0, 2.0, 1.0])
+        reverse = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_footrule(exact, reverse, k=4) == pytest.approx(1.0)
+
+    def test_single_swap_small(self):
+        exact = np.array([4.0, 3.0, 2.0, 1.0])
+        swapped = np.array([4.0, 3.0, 1.0, 2.0])
+        value = spearman_footrule(exact, swapped, k=4)
+        assert 0.0 < value < 0.5
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a, b = rng.random(8), rng.random(8)
+            assert 0.0 <= spearman_footrule(a, b, k=5) <= 1.0
+
+
+class TestIntersectionSimilarity:
+    def test_identical_is_one(self):
+        scores = np.array([0.4, 0.3, 0.2, 0.1])
+        assert intersection_similarity(scores, scores.copy(), k=3) == 1.0
+
+    def test_disjoint_is_zero(self):
+        exact = np.array([1.0, 1.0, 0.0, 0.0])
+        estimate = np.array([0.0, 0.0, 1.0, 1.0])
+        assert intersection_similarity(exact, estimate, k=2) == 0.0
+
+    def test_stricter_than_precision(self):
+        # Same set, swapped top two: precision@2 is 1, intersection < 1.
+        from repro.metrics import precision_at_k
+
+        exact = np.array([0.5, 0.4, 0.0])
+        swapped = np.array([0.4, 0.5, 0.0])
+        assert precision_at_k(exact, swapped, k=2) == 1.0
+        assert intersection_similarity(exact, swapped, k=2) < 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            a, b = rng.random(8), rng.random(8)
+            assert 0.0 <= intersection_similarity(a, b, k=5) <= 1.0

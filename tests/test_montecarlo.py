@@ -1,0 +1,87 @@
+"""Unit tests for the MonteCarlo fingerprint baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MonteCarlo
+from repro.core.exact import exact_ppv
+from repro.metrics import precision_at_k
+from tests.conftest import ALPHA
+
+
+@pytest.fixture(scope="module")
+def engine(small_social):
+    return MonteCarlo(
+        small_social, num_hubs=30, samples_per_query=3000, seed=42
+    )
+
+
+class TestOffline:
+    def test_hub_count(self, engine):
+        assert engine.hubs.size == 30
+        assert engine.offline_stats.num_hubs == 30
+
+    def test_fingerprint_storage_accounted(self, engine):
+        assert engine.offline_stats.stored_entries > 0
+        assert engine.offline_stats.stored_bytes > 0
+
+    def test_no_hubs_allowed(self, small_social):
+        engine = MonteCarlo(small_social, num_hubs=0, samples_per_query=500)
+        assert engine.hubs.size == 0
+        result = engine.query(3)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_invalid_samples(self, small_social):
+        with pytest.raises(ValueError):
+            MonteCarlo(small_social, num_hubs=5, samples_per_query=0)
+
+
+class TestOnline:
+    def test_estimate_is_distribution(self, engine):
+        result = engine.query(5)
+        assert result.scores.min() >= 0.0
+        # Dangling-free graph: every walk terminates somewhere.
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_deterministic_per_query(self, engine, small_social):
+        other = MonteCarlo(
+            small_social, num_hubs=30, samples_per_query=3000, seed=42
+        )
+        a = engine.query(8).scores
+        b = other.query(8).scores
+        np.testing.assert_array_equal(a, b)
+
+    def test_reasonable_accuracy(self, engine, small_social):
+        exact = exact_ppv(small_social, 17, alpha=ALPHA)
+        result = engine.query(17)
+        assert precision_at_k(exact, result.scores, k=10) >= 0.6
+
+    def test_accuracy_improves_with_samples(self, small_social):
+        exact = exact_ppv(small_social, 11, alpha=ALPHA)
+        small = MonteCarlo(small_social, num_hubs=0, samples_per_query=100, seed=1)
+        large = MonteCarlo(small_social, num_hubs=0, samples_per_query=5000, seed=1)
+        err_small = np.abs(small.query(11).scores - exact).sum()
+        err_large = np.abs(large.query(11).scores - exact).sum()
+        assert err_large < err_small
+
+    def test_unbiased_mean_close_to_exact(self, small_social):
+        # Empirical distribution of the query node's own score: the query
+        # node's score is the easiest to estimate and must be near alpha+.
+        engine = MonteCarlo(small_social, num_hubs=0, samples_per_query=8000, seed=2)
+        exact = exact_ppv(small_social, 29, alpha=ALPHA)
+        result = engine.query(29)
+        assert result.scores[29] == pytest.approx(exact[29], abs=0.03)
+
+    def test_hub_splicing_consistent(self, small_social):
+        # With fingerprint reuse the distribution must remain close to the
+        # plain-sampling estimate (same law, different variance).
+        exact = exact_ppv(small_social, 13, alpha=ALPHA)
+        spliced = MonteCarlo(
+            small_social, num_hubs=50, samples_per_query=6000, seed=3
+        )
+        error = np.abs(spliced.query(13).scores - exact).sum()
+        assert error < 0.5  # sampling noise bound at N=6000
+
+    def test_out_of_range_query(self, engine):
+        with pytest.raises(ValueError):
+            engine.query(10**6)

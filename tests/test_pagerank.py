@@ -1,0 +1,58 @@
+"""Unit tests for global PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, global_pagerank
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+
+
+class TestGlobalPageRank:
+    def test_sums_to_one(self, small_social):
+        rank = global_pagerank(small_social)
+        assert rank.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_uniform_on_cycle(self):
+        rank = global_pagerank(cycle_graph(6))
+        assert np.allclose(rank, 1.0 / 6, atol=1e-9)
+
+    def test_uniform_on_complete(self):
+        rank = global_pagerank(complete_graph(5))
+        assert np.allclose(rank, 0.2, atol=1e-9)
+
+    def test_star_center_dominates(self):
+        rank = global_pagerank(star_graph(8))
+        assert rank[0] > rank[1]
+        assert np.allclose(rank[1:], rank[1], atol=1e-12)
+
+    def test_dangling_mass_redistributed(self):
+        # 0 -> 1, 1 dangling: ranks must still sum to one.
+        rank = global_pagerank(from_edges([(0, 1)], num_nodes=2))
+        assert rank.sum() == pytest.approx(1.0, abs=1e-9)
+        assert rank[1] > rank[0]
+
+    def test_matches_networkx(self, small_social):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.DiGraph(list(small_social.edges()))
+        nx_graph.add_nodes_from(range(small_social.num_nodes))
+        expected = networkx.pagerank(nx_graph, alpha=0.85, tol=1e-12)
+        got = global_pagerank(small_social, alpha=0.15)
+        for node, value in expected.items():
+            assert got[node] == pytest.approx(value, abs=1e-6)
+
+    def test_empty_graph(self):
+        graph = from_edges([], num_nodes=0)
+        assert global_pagerank(graph).size == 0
+
+    def test_invalid_alpha(self):
+        graph = cycle_graph(3)
+        with pytest.raises(ValueError):
+            global_pagerank(graph, alpha=0.0)
+        with pytest.raises(ValueError):
+            global_pagerank(graph, alpha=1.0)
+
+    def test_higher_indegree_higher_rank(self, small_social):
+        rank = global_pagerank(small_social)
+        in_degrees = small_social.in_degrees()
+        top_rank = int(np.argmax(rank))
+        assert in_degrees[top_rank] >= np.percentile(in_degrees, 95)

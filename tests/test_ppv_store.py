@@ -1,0 +1,97 @@
+"""Unit tests for the binary on-disk PPV index."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import build_index
+from repro.storage import DiskPPVStore, load_index, save_index
+from tests.conftest import ALPHA, FIG3_HUBS
+
+
+@pytest.fixture()
+def saved_index(fig1_graph, tmp_path):
+    index = build_index(fig1_graph, FIG3_HUBS, alpha=ALPHA, epsilon=1e-10, clip=0.0)
+    path = tmp_path / "index.fppv"
+    save_index(index, path)
+    return index, path
+
+
+class TestRoundTrip:
+    def test_parameters_preserved(self, saved_index):
+        index, path = saved_index
+        loaded = load_index(path)
+        assert loaded.alpha == index.alpha
+        assert loaded.epsilon == index.epsilon
+        assert loaded.clip == index.clip
+        np.testing.assert_array_equal(loaded.hub_mask, index.hub_mask)
+
+    def test_entries_identical(self, saved_index):
+        index, path = saved_index
+        loaded = load_index(path)
+        assert set(loaded.entries) == set(index.entries)
+        for hub, entry in index.entries.items():
+            other = loaded.entries[hub]
+            np.testing.assert_array_equal(other.nodes, entry.nodes)
+            np.testing.assert_allclose(other.scores, entry.scores, atol=0)
+            np.testing.assert_array_equal(other.border_hubs, entry.border_hubs)
+            np.testing.assert_allclose(
+                other.border_masses, entry.border_masses, atol=0
+            )
+
+    def test_save_returns_bytes_written(self, saved_index, tmp_path):
+        index, _ = saved_index
+        written = save_index(index, tmp_path / "again.fppv")
+        assert written == (tmp_path / "again.fppv").stat().st_size
+
+    def test_loaded_index_queries_identically(self, saved_index, fig1_graph):
+        from repro import FastPPV, StopAfterIterations
+
+        index, path = saved_index
+        loaded = load_index(path)
+        a = FastPPV(fig1_graph, index, delta=0.0).query(0, StopAfterIterations(5))
+        b = FastPPV(fig1_graph, loaded, delta=0.0).query(0, StopAfterIterations(5))
+        np.testing.assert_allclose(a.scores, b.scores, atol=0)
+
+
+class TestDiskStore:
+    def test_lazy_get_matches(self, saved_index):
+        index, path = saved_index
+        with DiskPPVStore(path) as store:
+            for hub in FIG3_HUBS:
+                entry = store.get(hub)
+                expected = index.entries[hub]
+                np.testing.assert_array_equal(entry.nodes, expected.nodes)
+                np.testing.assert_allclose(entry.scores, expected.scores, atol=0)
+
+    def test_read_counter(self, saved_index):
+        _, path = saved_index
+        with DiskPPVStore(path) as store:
+            assert store.reads == 0
+            store.get(FIG3_HUBS[0])
+            store.get(FIG3_HUBS[1])
+            assert store.reads == 2
+
+    def test_contains_and_hubs(self, saved_index):
+        _, path = saved_index
+        with DiskPPVStore(path) as store:
+            assert FIG3_HUBS[0] in store
+            assert 0 not in store
+            assert store.hubs.tolist() == sorted(FIG3_HUBS)
+
+    def test_missing_hub_raises(self, saved_index):
+        _, path = saved_index
+        with DiskPPVStore(path) as store:
+            with pytest.raises(KeyError):
+                store.get(0)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.fppv"
+        path.write_bytes(b"NOPE" + b"\x00" * 60)
+        with pytest.raises(ValueError, match="not a FastPPV"):
+            DiskPPVStore(path)
+
+    def test_close_idempotent(self, saved_index):
+        _, path = saved_index
+        store = DiskPPVStore(path)
+        store.close()
+        store.close()

@@ -1,0 +1,91 @@
+"""Unit tests for forward push (bookmark coloring)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.push import forward_push
+from repro.core.exact import exact_ppv
+from tests.conftest import A, ALPHA
+
+
+class TestForwardPush:
+    def test_converges_to_exact(self, cyclic_graph):
+        exact = exact_ppv(cyclic_graph, 0, alpha=ALPHA)
+        estimate, residual = forward_push(
+            cyclic_graph, 0, alpha=ALPHA, threshold=1e-10
+        )
+        np.testing.assert_allclose(estimate, exact, atol=1e-7)
+        assert residual.sum() < 1e-6
+
+    def test_residual_bounds_error(self, small_social):
+        exact = exact_ppv(small_social, 2, alpha=ALPHA)
+        estimate, residual = forward_push(
+            small_social, 2, alpha=ALPHA, threshold=1e-3
+        )
+        true_error = np.abs(exact - estimate).sum()
+        assert true_error <= residual.sum() + 1e-9
+
+    def test_estimate_plus_residual_conserves_mass(self, small_social):
+        estimate, residual = forward_push(
+            small_social, 2, alpha=ALPHA, threshold=1e-4
+        )
+        # Invariant: scored mass + outstanding residual mass = 1 on a
+        # dangling-free graph.
+        assert estimate.sum() + residual.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_underestimates_exact(self, small_social):
+        exact = exact_ppv(small_social, 2, alpha=ALPHA)
+        estimate, _ = forward_push(small_social, 2, alpha=ALPHA, threshold=1e-4)
+        assert np.all(estimate <= exact + 1e-9)
+
+    def test_coarser_threshold_cheaper(self, small_social):
+        fine, _ = forward_push(small_social, 2, threshold=1e-6)
+        coarse, _ = forward_push(small_social, 2, threshold=1e-2)
+        assert np.count_nonzero(coarse) <= np.count_nonzero(fine)
+
+    def test_hub_splice_exactness(self, cyclic_graph):
+        # Splicing an exact hub vector must leave the result exact.
+        hub = 1
+        hub_exact = exact_ppv(cyclic_graph, hub, alpha=ALPHA)
+        nodes = np.nonzero(hub_exact)[0]
+        hub_vectors = {hub: (nodes, hub_exact[nodes])}
+        estimate, residual = forward_push(
+            cyclic_graph, 0, alpha=ALPHA, threshold=1e-12, hub_vectors=hub_vectors
+        )
+        exact = exact_ppv(cyclic_graph, 0, alpha=ALPHA)
+        np.testing.assert_allclose(estimate, exact, atol=1e-8)
+
+    def test_source_splice_skipped(self, cyclic_graph):
+        # With skip_source_splice the cached vector at the source must not
+        # short-circuit the query.
+        wrong = np.zeros(cyclic_graph.num_nodes)
+        wrong[3] = 1.0
+        hub_vectors = {0: (np.array([3]), np.array([1.0]))}
+        estimate, _ = forward_push(
+            cyclic_graph,
+            0,
+            alpha=ALPHA,
+            threshold=1e-10,
+            hub_vectors=hub_vectors,
+            skip_source_splice=True,
+        )
+        exact = exact_ppv(cyclic_graph, 0, alpha=ALPHA)
+        # Mass can still reach node 3 organically, but the estimate must
+        # track the exact PPV, not the planted fake vector.
+        assert abs(estimate[0] - exact[0]) < 0.01
+
+    def test_dangling_node_loses_mass(self):
+        from repro.graph import from_edges
+
+        graph = from_edges([(0, 1)], num_nodes=2)
+        estimate, residual = forward_push(graph, 0, alpha=ALPHA, threshold=1e-12)
+        assert estimate.sum() + residual.sum() < 1.0
+        assert estimate[0] == pytest.approx(ALPHA)
+
+    def test_invalid_threshold(self, cyclic_graph):
+        with pytest.raises(ValueError):
+            forward_push(cyclic_graph, 0, threshold=0.0)
+
+    def test_invalid_source(self, cyclic_graph):
+        with pytest.raises(ValueError):
+            forward_push(cyclic_graph, 99)

@@ -1,0 +1,175 @@
+"""Edge-case and failure-injection tests for the online engine."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FastPPV,
+    StopAfterIterations,
+    StopAtL1Error,
+    build_index,
+    from_edges,
+)
+from repro.core.exact import exact_ppv_dense_solve
+from repro.core.query import QueryState, StopAfterTime, any_of
+from tests.conftest import ALPHA
+
+
+class TestDegenerateGraphs:
+    def test_single_node_no_edges(self):
+        graph = from_edges([], num_nodes=1)
+        index = build_index(graph, [])
+        engine = FastPPV(graph, index)
+        result = engine.query(0)
+        # Only the trivial tour exists; everything else dies at a
+        # dangling node.
+        assert result.scores[0] == pytest.approx(ALPHA)
+        assert result.iterations == 0
+
+    def test_single_node_self_loop(self):
+        graph = from_edges([(0, 0)], num_nodes=1)
+        index = build_index(graph, [])
+        engine = FastPPV(graph, index)
+        result = engine.query(0)
+        assert result.scores[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_self_loop_hub(self):
+        # The hub is its own border through the self-loop.
+        graph = from_edges([(0, 0)], num_nodes=1)
+        index = build_index(graph, [0], epsilon=1e-14, clip=0.0)
+        engine = FastPPV(graph, index, delta=0.0, max_iterations=400)
+        result = engine.query(0, stop=StopAfterIterations(300))
+        assert result.scores[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_two_node_swap(self):
+        graph = from_edges([(0, 1), (1, 0)])
+        index = build_index(graph, [1], epsilon=1e-14, clip=0.0)
+        engine = FastPPV(graph, index, delta=0.0)
+        for query in (0, 1):
+            result = engine.query(query, stop=StopAfterIterations(100))
+            expected = exact_ppv_dense_solve(graph, query, alpha=ALPHA)
+            np.testing.assert_allclose(result.scores, expected, atol=1e-9)
+
+    def test_disconnected_query(self):
+        # Query in a component with no hubs: pure prime push, no splices.
+        graph = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], num_nodes=4)
+        index = build_index(graph, [0], epsilon=1e-14, clip=0.0)
+        engine = FastPPV(graph, index, delta=0.0)
+        result = engine.query(2, stop=StopAfterIterations(10))
+        expected = exact_ppv_dense_solve(graph, 2, alpha=ALPHA)
+        np.testing.assert_allclose(result.scores, expected, atol=1e-9)
+        assert result.hubs_expanded == 0
+
+    def test_all_nodes_are_hubs(self, cyclic_graph):
+        hubs = list(range(cyclic_graph.num_nodes))
+        index = build_index(cyclic_graph, hubs, epsilon=1e-14, clip=0.0)
+        engine = FastPPV(cyclic_graph, index, delta=0.0, max_iterations=400)
+        result = engine.query(0, stop=StopAfterIterations(300))
+        expected = exact_ppv_dense_solve(cyclic_graph, 0, alpha=ALPHA)
+        np.testing.assert_allclose(result.scores, expected, atol=1e-7)
+
+
+class TestClipInteraction:
+    def test_clipped_index_still_monotone(self, small_social):
+        from repro.core.hubs import select_hubs
+
+        hubs = select_hubs(small_social, 30)
+        index = build_index(small_social, hubs, clip=1e-3)
+        engine = FastPPV(small_social, index, delta=0.0)
+        previous = np.zeros(small_social.num_nodes)
+        for eta in range(4):
+            scores = engine.query(8, stop=StopAfterIterations(eta)).scores
+            assert np.all(scores >= previous - 1e-12)
+            previous = scores
+
+    def test_clipped_error_still_valid_bound(self, small_social):
+        # With clipping the Eq. 6 value still upper-bounds nothing being
+        # over-counted: estimate stays below exact.
+        from repro.core.exact import exact_ppv
+        from repro.core.hubs import select_hubs
+
+        hubs = select_hubs(small_social, 30)
+        index = build_index(small_social, hubs, clip=1e-3)
+        engine = FastPPV(small_social, index, delta=0.0)
+        result = engine.query(8, stop=StopAfterIterations(3))
+        exact = exact_ppv(small_social, 8)
+        assert np.all(result.scores <= exact + 1e-9)
+
+
+class TestStoppingEdgeCases:
+    def test_zero_error_target_runs_to_frontier_exhaustion(
+        self, small_social, small_social_index
+    ):
+        engine = FastPPV(small_social, small_social_index, max_iterations=10)
+        result = engine.query(4, stop=StopAtL1Error(0.0))
+        assert result.iterations <= 10
+
+    def test_compound_condition_all_satisfied(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index)
+        stop = any_of(
+            StopAfterIterations(0), StopAtL1Error(1.0), StopAfterTime(0.0)
+        )
+        assert engine.query(4, stop=stop).iterations == 0
+
+    def test_state_fields_available_to_conditions(
+        self, small_social, small_social_index
+    ):
+        observed: list[QueryState] = []
+
+        class Recorder:
+            def should_stop(self, state):
+                observed.append(state)
+                return state.iteration >= 1
+
+        engine = FastPPV(small_social, small_social_index)
+        engine.query(4, stop=Recorder())
+        assert observed
+        for state in observed:
+            assert state.scores is not None
+            assert state.frontier_size >= 0
+            assert state.elapsed_seconds >= 0.0
+
+
+class TestWorkUnits:
+    def test_hub_query_iteration0_free(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index)
+        hub = int(small_social_index.hubs[0])
+        result = engine.query(hub, stop=StopAfterIterations(0))
+        assert result.work_units == 0  # loaded from the index, no push
+
+    def test_non_hub_query_pays_push(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index)
+        non_hub = next(
+            q for q in range(small_social.num_nodes)
+            if q not in small_social_index
+        )
+        result = engine.query(non_hub, stop=StopAfterIterations(0))
+        assert result.work_units > 0
+
+    def test_work_grows_with_iterations(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index, delta=0.0)
+        work = [
+            engine.query(9, stop=StopAfterIterations(eta)).work_units
+            for eta in (0, 2, 4)
+        ]
+        assert work[0] <= work[1] <= work[2]
+
+
+class TestOnlineEpsilon:
+    def test_coarser_epsilon_less_work(self, small_social, small_social_index):
+        non_hub = next(
+            q for q in range(small_social.num_nodes)
+            if q not in small_social_index
+        )
+        fine = FastPPV(
+            small_social, small_social_index, online_epsilon=1e-10
+        ).query(non_hub, stop=StopAfterIterations(0))
+        coarse = FastPPV(
+            small_social, small_social_index, online_epsilon=1e-4
+        ).query(non_hub, stop=StopAfterIterations(0))
+        assert coarse.work_units < fine.work_units
+        assert coarse.scores.sum() <= fine.scores.sum() + 1e-12
+
+    def test_defaults_to_index_epsilon(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index)
+        assert engine.online_epsilon == small_social_index.epsilon

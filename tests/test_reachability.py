@@ -1,0 +1,134 @@
+"""Unit tests for the tour model — including the paper's Fig. 1(b) values."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_ppv
+from repro.core.reachability import (
+    brute_force_increment,
+    brute_force_ppv,
+    enumerate_tours,
+    hub_length,
+    tour_reachability,
+)
+from tests.conftest import A, ALPHA, B, C, D, E, F, FIG3_HUBS, G, H
+
+
+class TestTourReachability:
+    def test_trivial_tour_is_alpha(self, fig1_graph):
+        assert tour_reachability(fig1_graph, (A,), ALPHA) == pytest.approx(ALPHA)
+
+    def test_fig1_t1(self, fig1_graph):
+        # t1: a -> c, paper: 0.0255
+        value = tour_reachability(fig1_graph, (A, C), ALPHA)
+        assert value == pytest.approx(0.0255, abs=5e-5)
+
+    def test_fig1_t2(self, fig1_graph):
+        # t2: a -> h -> c, paper: 0.0216
+        value = tour_reachability(fig1_graph, (A, H, C), ALPHA)
+        assert value == pytest.approx(0.0217, abs=5e-5)
+
+    def test_fig1_t3(self, fig1_graph):
+        # t3: a -> d -> c, paper: 0.0108
+        value = tour_reachability(fig1_graph, (A, D, C), ALPHA)
+        assert value == pytest.approx(0.0108, abs=5e-5)
+
+    def test_fig1_t4(self, fig1_graph):
+        # t4: a -> b -> c, paper: 0.0072
+        value = tour_reachability(fig1_graph, (A, B, C), ALPHA)
+        assert value == pytest.approx(0.0072, abs=5e-5)
+
+    def test_fig1_t5(self, fig1_graph):
+        # t5: a -> f -> d -> c, paper: 0.0046
+        t5 = tour_reachability(fig1_graph, (A, F, D, C), ALPHA)
+        assert t5 == pytest.approx(0.0046, abs=5e-5)
+
+    def test_fig1_t6_consistent_with_t4(self, fig1_graph):
+        # The paper lists R(t6) = 0.0046, but that contradicts its own
+        # R(t4) = 0.0072: both pass through b (out-degree 3 per the tour
+        # list), so R(t6) = R(t4) * (1 - alpha) / out(d) must hold.  We
+        # assert the self-consistent relation instead of the printed value.
+        t4 = tour_reachability(fig1_graph, (A, B, C), ALPHA)
+        t6 = tour_reachability(fig1_graph, (A, B, D, C), ALPHA)
+        assert t6 == pytest.approx(t4 * (1 - ALPHA) / fig1_graph.out_degree(3))
+
+    def test_longer_tour_smaller_reachability(self, fig1_graph):
+        short = tour_reachability(fig1_graph, (A, C), ALPHA)
+        long = tour_reachability(fig1_graph, (A, B, C), ALPHA)
+        assert long < short
+
+    def test_invalid_edge_raises(self, fig1_graph):
+        with pytest.raises(ValueError, match="no edge"):
+            tour_reachability(fig1_graph, (C, A), ALPHA)
+
+    def test_empty_tour_raises(self, fig1_graph):
+        with pytest.raises(ValueError):
+            tour_reachability(fig1_graph, (), ALPHA)
+
+
+class TestEnumerateTours:
+    def test_exactly_seven_tours_a_to_c(self, fig1_graph):
+        # Fig. 1(b): seven tours from a to c.
+        tours = list(enumerate_tours(fig1_graph, A, max_length=10, target=C))
+        assert len(tours) == 7
+
+    def test_zero_length_tour_included(self, fig1_graph):
+        tours = list(enumerate_tours(fig1_graph, A, max_length=0))
+        assert tours == [(A,)]
+
+    def test_cycle_enumeration_bounded(self, cyclic_graph):
+        tours = list(enumerate_tours(cyclic_graph, 0, max_length=4))
+        assert all(len(t) - 1 <= 4 for t in tours)
+        assert len({t for t in tours}) == len(tours)  # no duplicates
+
+
+class TestHubLength:
+    def test_excludes_endpoints(self):
+        hubs = {1, 3}
+        assert hub_length((1, 2, 3), hubs) == 0  # 1, 3 are endpoints
+        assert hub_length((0, 1, 2), hubs) == 1
+        assert hub_length((0, 1, 3, 2), hubs) == 2
+
+    def test_fig3_partitions(self, fig1_graph):
+        # Paper Fig. 3(b): tours from a with their hub lengths.
+        hubs = set(FIG3_HUBS)
+        assert hub_length((A, C), hubs) == 0          # t1
+        assert hub_length((A, H, C), hubs) == 0       # a->h->c: h is a stop-over
+        assert hub_length((A, D, C), hubs) == 1       # t3
+        assert hub_length((A, B, C), hubs) == 1       # t4
+        assert hub_length((A, F, D, C), hubs) == 2    # t5
+        assert hub_length((A, F, G, D, C), hubs) == 2 # t8: g not a hub
+
+    def test_single_node_tour(self):
+        assert hub_length((5,), {5}) == 0
+
+
+class TestBruteForce:
+    def test_matches_exact(self, fig1_graph):
+        brute = brute_force_ppv(fig1_graph, A, max_length=10, alpha=ALPHA)
+        exact = exact_ppv(fig1_graph, A, alpha=ALPHA)
+        np.testing.assert_allclose(brute, exact, atol=1e-12)
+
+    def test_truncation_error_bounded(self, cyclic_graph):
+        exact = exact_ppv(cyclic_graph, 0, alpha=ALPHA)
+        brute = brute_force_ppv(cyclic_graph, 0, max_length=15, alpha=ALPHA)
+        assert np.abs(exact - brute).sum() <= (1 - ALPHA) ** 16 + 1e-12
+
+    def test_increments_partition_ppv(self, fig1_graph):
+        # Summing increments over all levels recovers the full PPV.
+        total = np.zeros(fig1_graph.num_nodes)
+        for level in range(4):
+            total += brute_force_increment(
+                fig1_graph, A, set(FIG3_HUBS), level, max_length=10, alpha=ALPHA
+            )
+        expected = brute_force_ppv(fig1_graph, A, max_length=10, alpha=ALPHA)
+        np.testing.assert_allclose(total, expected, atol=1e-12)
+
+    def test_increment_masses_decrease(self, fig1_graph):
+        masses = [
+            brute_force_increment(
+                fig1_graph, A, set(FIG3_HUBS), level, max_length=10, alpha=ALPHA
+            ).sum()
+            for level in range(3)
+        ]
+        assert masses[0] > masses[1] > masses[2]

@@ -1,0 +1,78 @@
+"""Unit tests for snapshots and edge sampling (Fig. 13 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import bibliographic_graph, social_graph
+from repro.graph.sampling import edge_sample, sample_series, snapshot, snapshot_series
+
+
+class TestSnapshot:
+    def test_snapshots_grow(self, small_bib):
+        series = snapshot_series(small_bib, [1998, 2002, 2006, 2010])
+        sizes = [g.num_nodes + g.num_edges for _, g in series]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_final_snapshot_contains_all_papers(self, small_bib):
+        final = snapshot(small_bib, 2010)
+        expected_papers = int((small_bib.paper_years <= 2010).sum())
+        paper_labels = [
+            lab
+            for lab in final.labels
+            if small_bib.node_kind(int(lab)) == "paper"
+        ]
+        assert len(paper_labels) == expected_papers
+
+    def test_snapshot_undirected(self, small_bib):
+        graph = snapshot(small_bib, 2002)
+        for src, dst in list(graph.edges())[:100]:
+            assert graph.has_edge(dst, src)
+
+    def test_snapshot_before_first_year_empty(self, small_bib):
+        graph = snapshot(small_bib, 1900)
+        assert graph.num_nodes == 0
+
+    def test_snapshot_labels_map_back(self, small_bib):
+        graph = snapshot(small_bib, 2006)
+        assert graph.labels is not None
+        for node in range(min(graph.num_nodes, 50)):
+            original = int(graph.label(node))
+            assert 0 <= original < small_bib.graph.num_nodes
+
+
+class TestEdgeSample:
+    def test_fraction_one_keeps_all_edges(self, small_social):
+        sampled = edge_sample(small_social, 1.0, seed=1)
+        assert sampled.num_edges == small_social.num_edges
+
+    def test_fraction_reduces_edges(self, small_social):
+        sampled = edge_sample(small_social, 0.3, seed=1)
+        ratio = sampled.num_edges / small_social.num_edges
+        assert 0.2 < ratio < 0.4
+
+    def test_invalid_fraction(self, small_social):
+        with pytest.raises(ValueError):
+            edge_sample(small_social, 0.0)
+        with pytest.raises(ValueError):
+            edge_sample(small_social, 1.5)
+
+    def test_deterministic(self, small_social):
+        a = edge_sample(small_social, 0.5, seed=7)
+        b = edge_sample(small_social, 0.5, seed=7)
+        assert a == b
+
+    def test_sampled_edges_exist_in_original(self, small_social):
+        sampled = edge_sample(small_social, 0.4, seed=2)
+        assert sampled.labels is not None
+        for src, dst in list(sampled.edges())[:200]:
+            orig_src = int(sampled.label(src))
+            orig_dst = int(sampled.label(dst))
+            assert small_social.has_edge(orig_src, orig_dst)
+
+    def test_series_ordered(self, small_social):
+        series = sample_series(small_social, [0.8, 0.2, 0.5], seed=3)
+        fractions = [f for f, _ in series]
+        assert fractions == [0.2, 0.5, 0.8]
+        edge_counts = [g.num_edges for _, g in series]
+        assert edge_counts == sorted(edge_counts)

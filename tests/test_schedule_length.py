@@ -1,0 +1,84 @@
+"""Tests for the path-length schedule (power iteration as anytime PPV)."""
+
+import numpy as np
+import pytest
+
+from repro import FastPPV, StopAfterIterations, StopAtL1Error, build_index
+from repro.core.exact import exact_ppv_dense_solve
+from repro.core.schedule_length import LengthScheduledPPV, length_partition_mass
+from tests.conftest import ALPHA, FIG3_HUBS
+
+
+@pytest.fixture(scope="module")
+def engine(cyclic_graph):
+    return LengthScheduledPPV(cyclic_graph, alpha=ALPHA)
+
+
+class TestLengthSchedule:
+    def test_converges_to_exact(self, engine, cyclic_graph):
+        result = engine.query(0, stop=StopAfterIterations(300))
+        expected = exact_ppv_dense_solve(cyclic_graph, 0, alpha=ALPHA)
+        np.testing.assert_allclose(result.scores, expected, atol=1e-9)
+
+    def test_level_masses_are_analytic(self, engine):
+        # On a dangling-free graph the increment of level i carries exactly
+        # alpha (1-alpha)^i mass — the S^i identity of the Theorem 2 proof.
+        result = engine.query(1, stop=StopAfterIterations(10))
+        history = result.error_history
+        for level in range(len(history) - 1):
+            gained = history[level] - history[level + 1]
+            assert gained == pytest.approx(
+                length_partition_mass(level + 1, ALPHA), abs=1e-12
+            )
+
+    def test_error_is_exact_geometric(self, engine):
+        result = engine.query(2, stop=StopAfterIterations(7))
+        for level, error in enumerate(result.error_history):
+            assert error == pytest.approx((1 - ALPHA) ** (level + 1), abs=1e-12)
+
+    def test_accuracy_aware_stopping(self, engine):
+        result = engine.query(0, stop=StopAtL1Error(0.05))
+        assert result.l1_error <= 0.05
+
+    def test_monotone_underestimate(self, engine, cyclic_graph):
+        exact = exact_ppv_dense_solve(cyclic_graph, 0, alpha=ALPHA)
+        previous = np.zeros(cyclic_graph.num_nodes)
+        for eta in (0, 2, 5):
+            scores = engine.query(0, stop=StopAfterIterations(eta)).scores
+            assert np.all(scores >= previous - 1e-15)
+            assert np.all(scores <= exact + 1e-12)
+            previous = scores
+
+    def test_invalid_inputs(self, cyclic_graph):
+        with pytest.raises(ValueError):
+            LengthScheduledPPV(cyclic_graph, alpha=1.0)
+        engine = LengthScheduledPPV(cyclic_graph)
+        with pytest.raises(ValueError):
+            engine.query(99)
+
+    def test_hub_schedule_beats_length_schedule_per_iteration(self, fig1_graph):
+        # The ablation claim: at equal iteration counts, hub-length
+        # partitions cover far more mass (every hub-free tour of any
+        # length lands in iteration 0).
+        index = build_index(fig1_graph, FIG3_HUBS, epsilon=1e-12, clip=0.0)
+        hub_engine = FastPPV(fig1_graph, index, delta=0.0)
+        length_engine = LengthScheduledPPV(fig1_graph, alpha=ALPHA)
+        for eta in (0, 1, 2):
+            hub_error = hub_engine.query(0, stop=StopAfterIterations(eta)).l1_error
+            length_error = length_engine.query(
+                0, stop=StopAfterIterations(eta)
+            ).l1_error
+            assert hub_error <= length_error + 1e-12
+
+
+class TestLevelMass:
+    def test_level_zero(self):
+        assert length_partition_mass(0, 0.15) == pytest.approx(0.15)
+
+    def test_geometric_decay(self):
+        masses = [length_partition_mass(i, 0.15) for i in range(10)]
+        assert sum(masses) == pytest.approx(1 - 0.85**10, abs=1e-12)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            length_partition_mass(-1)

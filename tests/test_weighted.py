@@ -1,0 +1,203 @@
+"""Tests for weighted graphs across the whole stack.
+
+The paper's framework "works for a general graph"; weighted edges are the
+natural database use case (ObjectRank-style typed relationships).  Weights
+flow through one place — ``DiGraph.edge_probabilities`` — so these tests
+exercise every kernel against analytic expectations and against the
+unweighted equivalence (all-equal weights must change nothing).
+"""
+
+import numpy as np
+import pytest
+
+from repro import FastPPV, StopAfterIterations, build_index, from_edges
+from repro.baselines import HubRankP, MonteCarlo
+from repro.baselines.push import forward_push
+from repro.core.exact import exact_ppv, exact_ppv_dense_solve
+from repro.core.hitting import exact_hitting, scheduled_hitting
+from repro.core.prime import prime_ppv
+from repro.core.reachability import tour_reachability
+from repro.graph import GraphBuilder, from_weighted_edges
+
+ALPHA = 0.15
+
+
+@pytest.fixture()
+def weighted_triangle():
+    # 0 -> 1 (weight 3), 0 -> 2 (weight 1), 1 -> 0, 2 -> 0.
+    return from_weighted_edges([(0, 1, 3.0), (0, 2, 1.0), (1, 0, 1.0), (2, 0, 1.0)])
+
+
+class TestWeightedDiGraph:
+    def test_is_weighted_flags(self, weighted_triangle, fig1_graph):
+        assert weighted_triangle.is_weighted
+        assert not fig1_graph.is_weighted
+        assert fig1_graph.weights is None
+
+    def test_edge_probabilities_normalised(self, weighted_triangle):
+        probs = weighted_triangle.edge_probabilities
+        assert probs[0] == pytest.approx(0.75)  # 0 -> 1
+        assert probs[1] == pytest.approx(0.25)  # 0 -> 2
+        assert weighted_triangle.edge_probability(0, 1) == pytest.approx(0.75)
+
+    def test_unweighted_probabilities_uniform(self, fig1_graph):
+        probs = fig1_graph.edge_probabilities
+        start = fig1_graph.indptr[0]
+        degree = fig1_graph.out_degree(0)
+        np.testing.assert_allclose(
+            probs[start : start + degree], 1.0 / degree
+        )
+
+    def test_missing_edge_probability_raises(self, weighted_triangle):
+        with pytest.raises(ValueError, match="no edge"):
+            weighted_triangle.edge_probability(1, 2)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            from_weighted_edges([(0, 1, 0.0)])
+        with pytest.raises(ValueError):
+            from_weighted_edges([(0, 1, -2.0)])
+
+    def test_parallel_edges_sum_weights(self):
+        builder = GraphBuilder(num_nodes=2)
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(0, 1, 2.0)
+        graph = builder.build()
+        assert graph.num_edges == 1
+        assert graph.weights[0] == pytest.approx(3.0)
+
+    def test_reverse_carries_weights(self, weighted_triangle):
+        rev = weighted_triangle.reverse()
+        assert rev.is_weighted
+        # Edge 0 -> 1 (weight 3) becomes 1 -> 0 with the same raw weight.
+        start = rev.indptr[1]
+        row = rev.indices[start : rev.indptr[2]]
+        position = int(np.nonzero(row == 0)[0][0])
+        assert rev.weights[start + position] == pytest.approx(3.0)
+
+    def test_subgraph_carries_weights(self, weighted_triangle):
+        sub, node_map = weighted_triangle.subgraph([0, 1])
+        assert sub.is_weighted
+        assert node_map.tolist() == [0, 1]
+        assert sub.edge_probability(0, 1) == pytest.approx(1.0)  # only edge left
+
+    def test_equality_considers_weights(self):
+        a = from_weighted_edges([(0, 1, 1.0), (1, 0, 1.0)])
+        b = from_weighted_edges([(0, 1, 2.0), (1, 0, 1.0)])
+        c = from_edges([(0, 1), (1, 0)])
+        assert a != b
+        assert a != c
+
+    def test_transition_matrix_weighted(self, weighted_triangle):
+        matrix = weighted_triangle.transition_matrix().toarray()
+        assert matrix[0, 1] == pytest.approx(0.75)
+        assert matrix[0, 2] == pytest.approx(0.25)
+
+
+class TestWeightedEquivalence:
+    """All-equal weights must reproduce the unweighted results exactly."""
+
+    def make_pair(self):
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2), (2, 1)]
+        unweighted = from_edges(edges)
+        weighted = from_weighted_edges([(s, d, 7.0) for s, d in edges])
+        return unweighted, weighted
+
+    def test_exact_ppv_equal(self):
+        unweighted, weighted = self.make_pair()
+        np.testing.assert_allclose(
+            exact_ppv(unweighted, 0), exact_ppv(weighted, 0), atol=1e-12
+        )
+
+    def test_forward_push_equal(self):
+        unweighted, weighted = self.make_pair()
+        a, _ = forward_push(unweighted, 0, threshold=1e-8)
+        b, _ = forward_push(weighted, 0, threshold=1e-8)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_prime_ppv_equal(self):
+        unweighted, weighted = self.make_pair()
+        mask = np.array([False, True, False])
+        a = prime_ppv(unweighted, 0, mask, epsilon=1e-12)
+        b = prime_ppv(weighted, 0, mask, epsilon=1e-12)
+        np.testing.assert_allclose(
+            a.to_dense(3), b.to_dense(3), atol=1e-12
+        )
+
+    def test_montecarlo_equal(self):
+        unweighted, weighted = self.make_pair()
+        a = MonteCarlo(unweighted, num_hubs=0, samples_per_query=500, seed=5)
+        b = MonteCarlo(weighted, num_hubs=0, samples_per_query=500, seed=5)
+        # Distributions agree statistically (same walk law, different
+        # sampling code path).
+        diff = np.abs(a.query(0).scores - b.query(0).scores).sum()
+        assert diff < 0.15
+
+
+class TestWeightedPPV:
+    def test_exact_solvers_agree(self, weighted_triangle):
+        power = exact_ppv(weighted_triangle, 0, alpha=ALPHA)
+        solve = exact_ppv_dense_solve(weighted_triangle, 0, alpha=ALPHA)
+        np.testing.assert_allclose(power, solve, atol=1e-10)
+
+    def test_weight_shifts_scores(self, weighted_triangle):
+        scores = exact_ppv(weighted_triangle, 0, alpha=ALPHA)
+        # Node 1 receives 3x the step probability of node 2.
+        assert scores[1] > scores[2]
+        assert scores[1] / scores[2] == pytest.approx(3.0, rel=0.01)
+
+    def test_tour_reachability_weighted(self, weighted_triangle):
+        value = tour_reachability(weighted_triangle, (0, 1), ALPHA)
+        assert value == pytest.approx(ALPHA * (1 - ALPHA) * 0.75)
+
+    def test_fastppv_converges_weighted(self, weighted_triangle):
+        index = build_index(
+            weighted_triangle, [1], alpha=ALPHA, epsilon=1e-14, clip=0.0
+        )
+        engine = FastPPV(weighted_triangle, index, delta=0.0)
+        result = engine.query(0, stop=StopAfterIterations(80))
+        expected = exact_ppv_dense_solve(weighted_triangle, 0, alpha=ALPHA)
+        np.testing.assert_allclose(result.scores, expected, atol=1e-9)
+
+    def test_fastppv_larger_weighted_graph(self, small_social):
+        # Attach random weights to a real-ish topology and check the
+        # engine still converges to the weighted exact PPV.
+        rng = np.random.default_rng(0)
+        triples = [
+            (s, d, float(rng.uniform(0.5, 4.0))) for s, d in small_social.edges()
+        ]
+        graph = from_weighted_edges(triples, num_nodes=small_social.num_nodes)
+        from repro.core.hubs import select_hubs
+
+        hubs = select_hubs(graph, 30)
+        index = build_index(graph, hubs, clip=0.0)
+        engine = FastPPV(graph, index, delta=0.0)
+        result = engine.query(9, stop=StopAfterIterations(25))
+        expected = exact_ppv(graph, 9)
+        assert np.abs(result.scores - expected).sum() < 0.01
+
+    def test_hubrank_weighted(self, weighted_triangle):
+        engine = HubRankP(weighted_triangle, num_hubs=1, push_threshold=1e-8)
+        result = engine.query(0)
+        expected = exact_ppv(weighted_triangle, 0)
+        assert np.abs(result.scores - expected).sum() < 1e-4
+
+
+class TestWeightedHitting:
+    def test_exact_weighted_hitting(self, weighted_triangle):
+        # f_1(0) with first-step probability 0.75 plus the 0->2->0->...
+        # detour; must exceed the unweighted value.
+        weighted = exact_hitting(weighted_triangle, 0, 1, beta=0.85)
+        unweighted = exact_hitting(
+            from_edges([(0, 1), (0, 2), (1, 0), (2, 0)]), 0, 1, beta=0.85
+        )
+        assert weighted > unweighted
+
+    def test_scheduled_matches_exact_weighted(self, weighted_triangle):
+        mask = np.array([False, False, True])
+        estimate = scheduled_hitting(
+            weighted_triangle, 0, 1, mask, beta=0.85, max_levels=80,
+            epsilon=1e-12,
+        )
+        expected = exact_hitting(weighted_triangle, 0, 1, beta=0.85)
+        assert estimate.value == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,93 @@
+"""Tests for workload-aware hub selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.hubs import select_hubs
+from repro.core.workload_hubs import select_hubs_for_workload, workload_traffic
+
+
+class TestWorkloadTraffic:
+    def test_traffic_peaks_at_logged_queries(self, small_social):
+        log = [10, 20, 30]
+        traffic = workload_traffic(small_social, log)
+        # Each logged query's own node carries at least its teleport share
+        # of the traffic: r_q(q) / alpha >= 1 averaged over |log| entries.
+        for query in log:
+            assert traffic[query] >= 1.0 / len(log) - 1e-6
+
+    def test_empty_log_rejected(self, small_social):
+        with pytest.raises(ValueError):
+            workload_traffic(small_social, [])
+
+    def test_out_of_range_log_rejected(self, small_social):
+        with pytest.raises(ValueError):
+            workload_traffic(small_social, [10**9])
+
+    def test_log_sampling_deterministic(self, small_social):
+        log = list(range(small_social.num_nodes))
+        a = workload_traffic(small_social, log, max_log_samples=20, seed=3)
+        b = workload_traffic(small_social, log, max_log_samples=20, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSelectHubsForWorkload:
+    def test_count_and_sortedness(self, small_social):
+        hubs = select_hubs_for_workload(small_social, [5, 6, 7], 15)
+        assert hubs.size == 15
+        assert np.all(np.diff(hubs) > 0)
+
+    def test_zero_hubs(self, small_social):
+        assert select_hubs_for_workload(small_social, [1], 0).size == 0
+
+    def test_negative_rejected(self, small_social):
+        with pytest.raises(ValueError):
+            select_hubs_for_workload(small_social, [1], -3)
+
+    def test_skewed_log_shifts_hubs_toward_queries(self, small_social):
+        # Hubs for a one-neighbourhood workload should overlap that
+        # neighbourhood's PPV support far more than global hubs do.
+        log = [200, 201, 202, 203]
+        workload_hubs = set(
+            select_hubs_for_workload(small_social, log, 20).tolist()
+        )
+        global_hubs = set(select_hubs(small_social, 20).tolist())
+        from repro.core.exact import exact_ppv
+
+        support = set(
+            np.nonzero(exact_ppv(small_social, 201) > 1e-4)[0].tolist()
+        )
+        assert len(workload_hubs & support) >= len(global_hubs & support)
+
+    def test_uniform_log_close_to_global_selection(self, small_social):
+        # With a uniform log the traffic estimate approximates global
+        # PageRank, so selections should substantially agree.
+        log = list(range(small_social.num_nodes))
+        workload_hubs = set(
+            select_hubs_for_workload(
+                small_social, log, 20, max_log_samples=small_social.num_nodes
+            ).tolist()
+        )
+        global_hubs = set(select_hubs(small_social, 20).tolist())
+        assert len(workload_hubs & global_hubs) >= 10
+
+    def test_workload_hubs_cut_query_work(self, small_social):
+        # End-to-end: hubs placed on the workload's walk traffic intercept
+        # logged queries' tours early, which shrinks their prime subgraphs
+        # — iteration-0 *work* drops (the speed benefit), while coverage
+        # moves to later iterations (the usual more-hubs trade-off).
+        from repro import FastPPV, StopAfterIterations, build_index
+
+        log = [50, 51, 52, 53, 54]
+        workload_hubs = select_hubs_for_workload(small_social, log, 25)
+        global_hubs = select_hubs(small_social, 25)
+        work = {}
+        for name, hubs in (("workload", workload_hubs), ("global", global_hubs)):
+            index = build_index(small_social, hubs)
+            engine = FastPPV(small_social, index, delta=0.0)
+            units = [
+                engine.query(q, stop=StopAfterIterations(0)).work_units
+                for q in log
+            ]
+            work[name] = float(np.mean(units))
+        assert work["workload"] <= work["global"]
