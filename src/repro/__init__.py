@@ -22,6 +22,7 @@ paper-to-module map.
 """
 
 from repro.core import (
+    BatchFastPPV,
     FastPPV,
     HubPolicy,
     PPVIndex,
@@ -67,6 +68,7 @@ __all__ = [
     "social_graph",
     # core
     "FastPPV",
+    "BatchFastPPV",
     "PPVIndex",
     "QueryResult",
     "HubPolicy",

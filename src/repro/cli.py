@@ -4,9 +4,14 @@ Five subcommands cover the offline/online lifecycle end to end::
 
     repro-fastppv generate social --nodes 5000 --out graph.txt
     repro-fastppv info graph.txt
-    repro-fastppv index graph.txt --hubs 300 --out graph.fppv
+    repro-fastppv index graph.txt --hubs 300 --workers 4 --out graph.fppv
     repro-fastppv query graph.txt graph.fppv 42 --top 10 --eta 2
+    repro-fastppv query graph.txt graph.fppv 42 7 19 --batch
     repro-fastppv autotune graph.txt
+
+``index --workers N`` parallelises the offline build; giving ``query``
+several nodes (or ``--batch``) routes them through the batched
+sparse-matrix engine of :mod:`repro.core.batch`.
 
 Graphs travel as whitespace edge lists (the SNAP convention), indexes as
 the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
@@ -94,6 +99,10 @@ def _add_index(subparsers) -> None:
     parser.add_argument("--alpha", type=float, default=0.15)
     parser.add_argument("--epsilon", type=float, default=1e-8)
     parser.add_argument("--clip", type=float, default=1e-4)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel workers for the offline build",
+    )
     parser.add_argument("--undirected", action="store_true")
     parser.add_argument("--out", required=True, help="output .fppv path")
     parser.set_defaults(func=_cmd_index)
@@ -105,7 +114,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
         graph, args.hubs, policy=HubPolicy(args.policy), alpha=args.alpha
     )
     index = build_index(
-        graph, hubs, alpha=args.alpha, epsilon=args.epsilon, clip=args.clip
+        graph, hubs, alpha=args.alpha, epsilon=args.epsilon, clip=args.clip,
+        workers=args.workers,
     )
     written = save_index(index, args.out)
     print(
@@ -122,7 +132,13 @@ def _add_query(subparsers) -> None:
     )
     parser.add_argument("graph", help="edge-list path")
     parser.add_argument("index", help=".fppv index path")
-    parser.add_argument("node", type=int)
+    parser.add_argument("node", type=int, nargs="+")
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="run all nodes through the batched engine (automatic when "
+        "more than one node is given; with --time-limit, queries run "
+        "one at a time so each keeps its own time budget)",
+    )
     parser.add_argument("--top", type=int, default=10)
     parser.add_argument("--eta", type=int, default=2, help="iteration budget")
     parser.add_argument(
@@ -154,13 +170,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         conditions.append(StopAtL1Error(args.target_error))
     if args.time_limit is not None:
         conditions.append(StopAfterTime(args.time_limit))
-    result = engine.query(args.node, stop=any_of(*conditions))
-    print(
-        f"query {args.node}: {result.iterations} iterations, "
-        f"L1 error {result.l1_error:.4f}, {result.seconds * 1000:.1f} ms"
-    )
-    for rank, node in enumerate(result.top_k(args.top), start=1):
-        print(f"{rank:4d}. node {int(node):8d}  score {result.scores[node]:.6f}")
+    stop = any_of(*conditions)
+    if args.batch or len(args.node) > 1:
+        results = engine.query_many(args.node, stop=stop)
+    else:
+        results = [engine.query(args.node[0], stop=stop)]
+    for result in results:
+        print(
+            f"query {result.query}: {result.iterations} iterations, "
+            f"L1 error {result.l1_error:.4f}, {result.seconds * 1000:.1f} ms"
+        )
+        for rank, node in enumerate(result.top_k(args.top), start=1):
+            print(
+                f"{rank:4d}. node {int(node):8d}  score {result.scores[node]:.6f}"
+            )
     return 0
 
 

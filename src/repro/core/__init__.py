@@ -10,6 +10,10 @@ Public surface:
 * :class:`~repro.core.query.FastPPV` — incremental, accuracy-aware online
   query engine (Algorithm 2), with stopping conditions from
   :mod:`repro.core.query`.
+* :class:`~repro.core.batch.BatchFastPPV` — the batched twin: whole
+  workloads as sparse-matrix rounds over the
+  :class:`~repro.core.splice.SpliceMatrix` lowering of the index, with a
+  completed-PPV LRU cache (``FastPPV.query_many`` delegates here).
 * :mod:`repro.core.errors` — the Theorem 2 error bound and query-time L1
   error.
 * :mod:`repro.core.linearity` — multi-node queries via the Linearity
@@ -20,6 +24,7 @@ Public surface:
 """
 
 from repro.core.autotune import AutotuneResult, autotune_hub_count
+from repro.core.batch import BatchFastPPV
 from repro.core.dynamic import add_edges, remove_edges, update_index
 from repro.core.errors import l1_error_bound, query_time_l1_error
 from repro.core.exact import exact_ppv, exact_ppv_matrix
@@ -27,7 +32,18 @@ from repro.core.hitting import exact_hitting, scheduled_hitting
 from repro.core.hubs import HubPolicy, select_hubs
 from repro.core.index import PPVIndex, build_index
 from repro.core.linearity import multi_node_ppv
-from repro.core.prime import PrimePPV, prime_ppv, prime_subgraph_nodes
+from repro.core.prime import (
+    PrimePPV,
+    prime_ppv,
+    prime_push_many,
+    prime_subgraph_nodes,
+)
+from repro.core.splice import (
+    SpliceMatrix,
+    build_splice_matrix,
+    invalidate_splice_cache,
+    splice_matrix,
+)
 from repro.core.query import (
     FastPPV,
     QueryResult,
@@ -49,6 +65,12 @@ __all__ = [
     "PPVIndex",
     "build_index",
     "FastPPV",
+    "BatchFastPPV",
+    "SpliceMatrix",
+    "build_splice_matrix",
+    "splice_matrix",
+    "invalidate_splice_cache",
+    "prime_push_many",
     "QueryResult",
     "StopAfterIterations",
     "StopAtL1Error",

@@ -1,0 +1,439 @@
+"""Batched online query engine: Algorithm 2 over many queries at once.
+
+:class:`BatchFastPPV` executes the scalar engine of
+:mod:`repro.core.query` for a whole batch of queries in lock-step rounds:
+
+* **Iteration 0** runs one multi-source prime push
+  (:func:`repro.core.prime.prime_push_many`) for all non-hub queries in
+  the batch — same mass flow as the per-query push (reassociated sums
+  only), with the per-round numpy dispatch cost paid once per batch
+  instead of once per query.  Duplicate query ids share a single push.
+* **Each incremental iteration** stacks the surviving frontiers into one
+  CSR matrix and replaces the per-hub splice loop with two sparse matrix
+  products against the cached :class:`~repro.core.splice.SpliceMatrix`
+  (hub scores with the trivial-tour correction folded in, and hub border
+  masses).  The per-(query, hub) ``delta`` gate of Algorithm 2 line 9 is
+  applied entry-wise on the stacked frontier before the products.
+
+Equivalence contract
+--------------------
+For any stopping condition that does not consult wall-clock time, results
+are equivalent to running ``FastPPV.query`` per query: identical
+``iterations``, ``hubs_expanded``, ``work_units`` and ``error_history``
+length, with ``scores`` and error values matching to floating-point
+round-off (~1e-14; the matrix products merely reassociate the same sums).
+``seconds`` is per-query wall-clock *within the batch* (time from batch
+start until the query finalised) and ``elapsed_seconds`` in
+:class:`~repro.core.query.QueryState` is shared batch time — so
+time-based stopping conditions remain usable but are inherently
+non-deterministic, exactly as in the scalar engine.
+
+Stopping conditions are shared across the batch and must therefore be
+stateless (all built-in conditions are frozen dataclasses).
+
+Caching
+-------
+A bounded LRU cache keyed by ``(query, stop)`` serves repeated-query
+traffic: completed results for the pure built-in conditions
+(``StopAfterIterations``, ``StopAtL1Error`` and ``any_of`` combinations
+thereof) are returned as defensive copies without touching the graph.
+Time-based or user-defined conditions are never cached.  Cache lookups
+are bypassed when an ``on_iteration`` callback is supplied, so callback
+invocation counts stay deterministic.  The cache is dropped whenever the
+index's matrix lowering is rebuilt (see
+:func:`repro.core.splice.invalidate_splice_cache`), so results never
+outlive the index state they were computed from.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.index import PPVIndex
+from repro.core.query import (
+    DEFAULT_DELTA,
+    QueryResult,
+    QueryState,
+    StopAfterIterations,
+    StopAtL1Error,
+    StoppingCondition,
+    _AnyOf,
+)
+from repro.core.prime import prime_push_many
+from repro.core.splice import SpliceMatrix, splice_matrix
+
+BatchCallback = Callable[[int, QueryState], None]
+"""Per-query iteration callback: ``(position_in_batch, state)``.
+
+Invoked once per executed iteration per query (iteration 0 included),
+mirroring the scalar engine's ``on_iteration`` — the first argument is
+the query's position in the ``queries`` sequence, so duplicate query ids
+remain distinguishable.
+"""
+
+DEFAULT_CACHE_SIZE = 256
+"""Default capacity of the completed-PPV LRU cache."""
+
+_CHUNK_ELEMENT_BUDGET = 1 << 22
+"""Target elements (~32 MB of float64) per dense working matrix; the
+default chunk size is derived from this so large graphs are processed in
+memory-bounded slices rather than one ``batch x n`` allocation."""
+
+
+def _cacheable(stop: StoppingCondition) -> bool:
+    """Whether results under ``stop`` are deterministic and keyable."""
+    if isinstance(stop, (StopAfterIterations, StopAtL1Error)):
+        return True
+    if isinstance(stop, _AnyOf):
+        return all(_cacheable(c) for c in stop.conditions)
+    return False
+
+
+def batch_safe(stop: StoppingCondition) -> bool:
+    """Whether batching cannot change what ``stop`` means per query.
+
+    Only the pure, stateless built-ins qualify
+    (:class:`StopAfterIterations`, :class:`StopAtL1Error` and ``any_of``
+    combinations of them).  :class:`StopAfterTime` reads
+    ``QueryState.elapsed_seconds`` — shared batch time here, a per-query
+    budget in the scalar engine — and arbitrary user conditions may be
+    stateful or time-reading in ways that cannot be introspected, so
+    ``FastPPV.query_many`` keeps all of those on the scalar per-query
+    path.  Pass such conditions to :meth:`BatchFastPPV.query_many`
+    directly to opt in to shared-clock, interleaved-evaluation batch
+    semantics.
+    """
+    return _cacheable(stop)
+
+
+class _Frontier:
+    """One query's frontier: hub *rows* with arrival masses."""
+
+    __slots__ = ("rows", "masses")
+
+    def __init__(self, rows: np.ndarray, masses: np.ndarray) -> None:
+        self.rows = rows
+        self.masses = masses
+
+
+class BatchFastPPV:
+    """Batch FastPPV engine (see module docstring).
+
+    Parameters mirror :class:`~repro.core.query.FastPPV`; in addition:
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity of the completed-PPV LRU cache (0 disables it).
+    chunk_size:
+        Maximum queries processed per dense working set; bounds the
+        ``chunk_size x num_nodes`` estimate/push matrices.  Defaults to
+        a graph-size-aware value keeping each dense matrix around
+        ``_CHUNK_ELEMENT_BUDGET`` elements (at least 16 queries, at most
+        512).
+    """
+
+    def __init__(
+        self,
+        graph,
+        index: PPVIndex,
+        delta: float = DEFAULT_DELTA,
+        max_iterations: int = 64,
+        online_epsilon: float | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        chunk_size: int | None = None,
+    ) -> None:
+        if index.hub_mask.shape != (graph.num_nodes,):
+            raise ValueError("index was built for a different graph size")
+        if delta < 0.0:
+            raise ValueError("delta must be non-negative")
+        if chunk_size is None:
+            chunk_size = max(
+                16,
+                min(512, _CHUNK_ELEMENT_BUDGET // max(1, graph.num_nodes)),
+            )
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.graph = graph
+        self.index = index
+        self.delta = delta
+        self.max_iterations = max_iterations
+        self.online_epsilon = (
+            online_epsilon if online_epsilon is not None else index.epsilon
+        )
+        self.cache_size = cache_size
+        self.chunk_size = chunk_size
+        self._cache: OrderedDict[tuple, QueryResult] = OrderedDict()
+        self._cache_lowering: SpliceMatrix | None = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def splice(self) -> SpliceMatrix:
+        """The matrix lowering of the index.
+
+        Resolved through :func:`repro.core.splice.splice_matrix` on every
+        access (a cheap attribute lookup once built) so that
+        :func:`repro.core.splice.invalidate_splice_cache` takes effect for
+        engines that already exist.
+        """
+        return splice_matrix(self.index)
+
+    def query(
+        self,
+        query: int,
+        stop: StoppingCondition | None = None,
+        on_iteration: Callable[[QueryState], None] | None = None,
+    ) -> QueryResult:
+        """Single query through the batch path (batch of one)."""
+        callback: BatchCallback | None = None
+        if on_iteration is not None:
+            callback = lambda _position, state: on_iteration(state)
+        return self.query_many([query], stop=stop, on_iteration=callback)[0]
+
+    def query_many(
+        self,
+        queries: Sequence[int],
+        stop: StoppingCondition | None = None,
+        on_iteration: BatchCallback | None = None,
+    ) -> list[QueryResult]:
+        """Estimate the PPVs of ``queries``, preserving order.
+
+        Parameters
+        ----------
+        queries:
+            Query node ids (duplicates allowed; they share iteration-0
+            work but produce independent results).
+        stop:
+            Shared stopping condition, evaluated per query after every
+            iteration; defaults to the paper's ``StopAfterIterations(2)``.
+            Must be stateless — the same object gates every query.
+        on_iteration:
+            Optional :data:`BatchCallback` invoked as
+            ``on_iteration(position, state)`` after every executed
+            iteration of every query (iteration 0 included).  Supplying a
+            callback bypasses the result cache so invocation counts stay
+            exact.
+        """
+        ids = [int(q) for q in queries]
+        for q in ids:
+            if not 0 <= q < self.graph.num_nodes:
+                raise ValueError(f"query node {q} out of range")
+        if stop is None:
+            stop = StopAfterIterations(2)
+
+        results: list[QueryResult | None] = [None] * len(ids)
+        # Completed results are only valid for the lowering they were
+        # computed against: an invalidate_splice_cache (after an in-place
+        # index mutation) rebuilds the SpliceMatrix, which drops the
+        # result cache here too.
+        lowering = self.splice
+        if lowering is not self._cache_lowering:
+            self._cache.clear()
+            self._cache_lowering = lowering
+        cache_key = None
+        if self.cache_size > 0 and _cacheable(stop):
+            cache_key = lambda q: (q, stop)
+        misses: list[int] = []
+        for position, q in enumerate(ids):
+            hit = None
+            if cache_key is not None and on_iteration is None:
+                hit = self._cache_get(cache_key(q))
+            if hit is not None:
+                results[position] = hit
+            else:
+                misses.append(position)
+
+        for start in range(0, len(misses), self.chunk_size):
+            chunk = misses[start : start + self.chunk_size]
+            for position, result in zip(
+                chunk, self._run_chunk(ids, chunk, stop, on_iteration)
+            ):
+                results[position] = result
+                if cache_key is not None:
+                    self._cache_put(cache_key(ids[position]), result)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _copy_result(result: QueryResult) -> QueryResult:
+        """Deep-enough copy to decouple cache entries from callers."""
+        return QueryResult(
+            query=result.query,
+            scores=result.scores.copy(),
+            iterations=result.iterations,
+            error_history=list(result.error_history),
+            hubs_expanded=result.hubs_expanded,
+            seconds=result.seconds,
+            work_units=result.work_units,
+        )
+
+    def _cache_get(self, key: tuple) -> QueryResult | None:
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self._cache.move_to_end(key)
+        return self._copy_result(cached)
+
+    def _cache_put(self, key: tuple, result: QueryResult) -> None:
+        self._cache[key] = self._copy_result(result)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_chunk(
+        self,
+        ids: list[int],
+        positions: list[int],
+        stop: StoppingCondition,
+        on_iteration: BatchCallback | None,
+    ) -> list[QueryResult]:
+        """Run the batch rounds for the queries at ``positions``."""
+        graph, index, splice = self.graph, self.index, self.splice
+        n = graph.num_nodes
+        alpha = index.alpha
+        delta = self.delta
+        k = len(positions)
+        started = time.perf_counter()
+
+        # ---- iteration 0: one multi-source push for all non-hub queries.
+        push_sources: list[int] = []
+        push_row_of: dict[int, int] = {}
+        for i in positions:
+            q = ids[i]
+            if q not in index and q not in push_row_of:
+                push_row_of[q] = len(push_sources)
+                push_sources.append(q)
+        push_scores, push_border, push_edges = prime_push_many(
+            graph,
+            np.asarray(push_sources, dtype=np.int64),
+            index.hub_mask,
+            alpha=alpha,
+            epsilon=self.online_epsilon,
+        )
+
+        estimate = np.zeros((k, n))
+        frontiers: list[_Frontier] = []
+        error_history: list[list[float]] = []
+        iterations = np.zeros(k, dtype=np.int64)
+        hubs_expanded = np.zeros(k, dtype=np.int64)
+        work_units = np.zeros(k, dtype=np.int64)
+        seconds = np.zeros(k)
+
+        for local, i in enumerate(positions):
+            q = ids[i]
+            if q in index:
+                entry = index.get(q)
+                estimate[local, entry.nodes] = entry.scores
+                rows = splice.rows_of(entry.border_hubs)
+                masses = entry.border_masses.astype(np.float64, copy=True)
+            else:
+                row = push_row_of[q]
+                estimate[local] = push_scores[row]
+                border_nodes = np.nonzero(push_border[row])[0]
+                rows = splice.rows_of(border_nodes)
+                masses = push_border[row, border_nodes]
+                work_units[local] = push_edges[row]
+            frontiers.append(_Frontier(rows, masses))
+            error_history.append([1.0 - float(estimate[local].sum())])
+
+        def state_of(local: int) -> QueryState:
+            return QueryState(
+                iteration=int(iterations[local]),
+                l1_error=error_history[local][-1],
+                elapsed_seconds=time.perf_counter() - started,
+                frontier_size=frontiers[local].rows.size,
+                scores=estimate[local],
+            )
+
+        if on_iteration is not None:
+            for local, i in enumerate(positions):
+                on_iteration(i, state_of(local))
+
+        # ---- incremental rounds: splice whole frontiers at once.
+        active = list(range(k))
+        while active:
+            runnable: list[int] = []
+            for local in active:
+                frontier = frontiers[local]
+                if (
+                    frontier.rows.size == 0
+                    or iterations[local] >= self.max_iterations
+                    or stop.should_stop(state_of(local))
+                ):
+                    seconds[local] = time.perf_counter() - started
+                else:
+                    runnable.append(local)
+            if not runnable:
+                break
+            active = runnable
+
+            lens = np.array(
+                [frontiers[local].rows.size for local in runnable], dtype=np.int64
+            )
+            cols = np.concatenate([frontiers[local].rows for local in runnable])
+            data = np.concatenate([frontiers[local].masses for local in runnable])
+            row_ids = np.repeat(np.arange(len(runnable)), lens)
+
+            # Per-entry delta gate (Algorithm 2, line 9): a frontier hub is
+            # expanded only if its increment score alpha * mass exceeds
+            # delta; gated entries also drop out of the next frontier.
+            keep = alpha * data > delta
+            kept_rows = row_ids[keep]
+            kept_cols = cols[keep]
+            counts = np.bincount(kept_rows, minlength=len(runnable))
+            indptr = np.zeros(len(runnable) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            gated = sparse.csr_matrix(
+                (data[keep], kept_cols, indptr),
+                shape=(len(runnable), splice.num_hubs),
+            )
+
+            increment = (gated @ splice.scores).toarray()
+            next_frontier = (gated @ splice.borders).tocsr()
+            work_inc = np.bincount(
+                kept_rows,
+                weights=splice.work[kept_cols].astype(np.float64),
+                minlength=len(runnable),
+            ).astype(np.int64)
+
+            locals_idx = np.asarray(runnable, dtype=np.int64)
+            estimate[locals_idx] += increment
+            hubs_expanded[locals_idx] += counts
+            work_units[locals_idx] += work_inc
+            iterations[locals_idx] += 1
+            for j, local in enumerate(runnable):
+                frontiers[local] = _Frontier(
+                    next_frontier.indices[
+                        next_frontier.indptr[j] : next_frontier.indptr[j + 1]
+                    ].astype(np.int64),
+                    next_frontier.data[
+                        next_frontier.indptr[j] : next_frontier.indptr[j + 1]
+                    ],
+                )
+                error_history[local].append(1.0 - float(estimate[local].sum()))
+                if on_iteration is not None:
+                    on_iteration(positions[local], state_of(local))
+
+        return [
+            QueryResult(
+                query=ids[i],
+                # Copy out of the shared chunk matrix so one retained
+                # result cannot pin the whole (chunk_size, n) buffer.
+                scores=estimate[local].copy(),
+                iterations=int(iterations[local]),
+                error_history=error_history[local],
+                hubs_expanded=int(hubs_expanded[local]),
+                seconds=float(seconds[local]),
+                work_units=int(work_units[local]),
+            )
+            for local, i in enumerate(positions)
+        ]

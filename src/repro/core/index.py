@@ -14,6 +14,7 @@ Sect. 5.3.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +41,17 @@ class IndexStats:
     def megabytes(self) -> float:
         """Stored size in MB (the unit of the paper's space plots)."""
         return self.stored_bytes / 1e6
+
+    def merge(self, other: "IndexStats") -> None:
+        """Accumulate another chunk's counters (parallel build merge).
+
+        ``build_seconds`` is *not* summed — for a parallel build the
+        meaningful figure is wall-clock time, which the caller stamps.
+        """
+        self.num_hubs += other.num_hubs
+        self.stored_entries += other.stored_entries
+        self.stored_bytes += other.stored_bytes
+        self.border_entries += other.border_entries
 
 
 @dataclass
@@ -115,12 +127,36 @@ def clip_prime_ppv(entry: PrimePPV, clip: float) -> PrimePPV:
     )
 
 
+def _build_chunk(
+    graph: DiGraph,
+    chunk: np.ndarray,
+    hub_mask: np.ndarray,
+    alpha: float,
+    epsilon: float,
+    clip: float,
+) -> tuple[dict[int, PrimePPV], IndexStats]:
+    """Compute one chunk of hub entries with its own stats (no timing)."""
+    entries: dict[int, PrimePPV] = {}
+    stats = IndexStats(num_hubs=int(chunk.size))
+    for hub in chunk:
+        entry = clip_prime_ppv(
+            prime_ppv(graph, int(hub), hub_mask, alpha=alpha, epsilon=epsilon),
+            clip,
+        )
+        entries[int(hub)] = entry
+        stats.stored_entries += entry.nodes.size
+        stats.border_entries += entry.border_hubs.size
+        stats.stored_bytes += entry.nbytes
+    return entries, stats
+
+
 def build_index(
     graph: DiGraph,
     hubs: np.ndarray | list[int],
     alpha: float = DEFAULT_ALPHA,
     epsilon: float = DEFAULT_EPSILON,
     clip: float = DEFAULT_CLIP,
+    workers: int = 1,
 ) -> PPVIndex:
     """Offline precomputation (Algorithm 1).
 
@@ -138,6 +174,12 @@ def build_index(
         Push parameters (see :func:`repro.core.prime.prime_ppv`).
     clip:
         Storage clip threshold.
+    workers:
+        Number of ``concurrent.futures`` workers the hub set is chunked
+        across.  Each hub's push is independent, so the resulting index is
+        entry-wise identical for any worker count; per-chunk
+        :class:`IndexStats` are merged and ``build_seconds`` records
+        wall-clock time.
     """
     hubs = np.asarray(hubs, dtype=np.int64)
     if clip >= alpha:
@@ -145,6 +187,8 @@ def build_index(
         # tour) plus cycle mass; clipping it away would break the online
         # trivial-tour correction.
         raise ValueError(f"clip ({clip}) must be below alpha ({alpha})")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     if hubs.size != np.unique(hubs).size:
         raise ValueError("hub ids must be unique")
     if hubs.size and (hubs.min() < 0 or hubs.max() >= graph.num_nodes):
@@ -154,15 +198,25 @@ def build_index(
 
     index = PPVIndex(alpha=alpha, epsilon=epsilon, clip=clip, hub_mask=hub_mask)
     started = time.perf_counter()
-    for hub in hubs:
-        entry = clip_prime_ppv(
-            prime_ppv(graph, int(hub), hub_mask, alpha=alpha, epsilon=epsilon),
-            clip,
-        )
-        index.entries[int(hub)] = entry
-        index.stats.stored_entries += entry.nodes.size
-        index.stats.border_entries += entry.border_hubs.size
-        index.stats.stored_bytes += entry.nbytes
-    index.stats.num_hubs = hubs.size
+    if workers == 1 or hubs.size <= 1:
+        chunk_results = [
+            _build_chunk(graph, hubs, hub_mask, alpha, epsilon, clip)
+        ]
+    else:
+        # Oversplit so a chunk of unusually large prime subgraphs cannot
+        # straggle the whole build.
+        chunks = np.array_split(hubs, min(hubs.size, workers * 4))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            chunk_results = list(
+                pool.map(
+                    lambda chunk: _build_chunk(
+                        graph, chunk, hub_mask, alpha, epsilon, clip
+                    ),
+                    chunks,
+                )
+            )
+    for entries, stats in chunk_results:
+        index.entries.update(entries)
+        index.stats.merge(stats)
     index.stats.build_seconds = time.perf_counter() - started
     return index

@@ -205,6 +205,7 @@ class FastPPV:
         self.online_epsilon = (
             online_epsilon if online_epsilon is not None else index.epsilon
         )
+        self._batch_engine = None
 
     # ------------------------------------------------------------------ #
 
@@ -312,10 +313,66 @@ class FastPPV:
             work_units=work_units,
         )
 
+    @property
+    def batch_engine(self):
+        """The :class:`~repro.core.batch.BatchFastPPV` twin of this engine.
+
+        Built lazily with the same parameters; :meth:`query_many`
+        delegates to it so workloads get the sparse-matrix batch path
+        (and its completed-PPV cache) transparently.
+        """
+        if self._batch_engine is None:
+            from repro.core.batch import BatchFastPPV
+
+            self._batch_engine = BatchFastPPV(
+                self.graph,
+                self.index,
+                delta=self.delta,
+                max_iterations=self.max_iterations,
+                online_epsilon=self.online_epsilon,
+            )
+        return self._batch_engine
+
     def query_many(
         self,
         queries: Sequence[int],
         stop: StoppingCondition | None = None,
+        on_iteration: "Callable[[int, QueryState], None] | None" = None,
     ) -> list[QueryResult]:
-        """Run :meth:`query` over a workload, preserving order."""
-        return [self.query(int(q), stop=stop) for q in queries]
+        """Run a whole workload through the batch engine, preserving order.
+
+        Equivalent to calling :meth:`query` per element (see
+        :mod:`repro.core.batch` for the exact contract) but executed as
+        batched sparse-matrix rounds.  ``on_iteration`` here takes the
+        query's *position in the batch* as a first argument:
+        ``on_iteration(position, state)``.
+
+        Only the pure built-in stopping conditions
+        (:class:`StopAfterIterations`, :class:`StopAtL1Error` and
+        :func:`any_of` combinations of them) take the batch path.
+        Time-based and user-defined conditions keep the original
+        per-query scalar loop: in a batch, elapsed time is shared and
+        evaluation is interleaved, which would silently change what such
+        conditions mean.  Use
+        :class:`~repro.core.batch.BatchFastPPV.query_many` directly to
+        opt in to shared-clock batch semantics for them.
+        """
+        from repro.core.batch import batch_safe
+
+        if stop is not None and not batch_safe(stop):
+            results = []
+            for position, query in enumerate(queries):
+                callback = None
+                if on_iteration is not None:
+                    callback = (
+                        lambda state, _position=position: on_iteration(
+                            _position, state
+                        )
+                    )
+                results.append(
+                    self.query(int(query), stop=stop, on_iteration=callback)
+                )
+            return results
+        return self.batch_engine.query_many(
+            queries, stop=stop, on_iteration=on_iteration
+        )

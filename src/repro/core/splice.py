@@ -1,0 +1,197 @@
+"""Sparse-matrix lowering of the PPV index (the batch splice kernel).
+
+The online engine's inner loop (Algorithm 2, lines 8-12) splices the prime
+PPV of every frontier hub into the running estimate.  Done one hub at a
+time this is a Python loop over dict entries; done for a *batch* of
+queries it is two sparse matrix products.  This module lowers a
+:class:`~repro.core.index.PPVIndex` into that matrix form, built once and
+cached on the index:
+
+* ``scores`` — CSR ``(H, n)``: row ``r`` is the (clipped) prime PPV of hub
+  ``hub_ids[r]`` **with the trivial-tour correction folded in**: the hub's
+  own entry is stored as ``r^0_h(h) - alpha`` so that splicing a frontier
+  arrival mass ``m`` via ``m @ scores`` reproduces the scalar engine's
+  ``estimate += m * entry.scores; estimate[h] -= alpha * m`` in a single
+  product (see :mod:`repro.core.query` for why the zero-length tour is
+  removed).
+* ``borders`` — CSR ``(H, H)``: row ``r`` holds the border arrival masses
+  of hub ``hub_ids[r]``, with columns in *hub-row* space, so one frontier
+  iteration of Theorem 4 for a whole batch is ``frontier @ borders``.
+* ``work`` — per-hub splice cost (``nodes.size + border_hubs.size``), the
+  scale-independent work units the scalar engine accounts per expansion.
+
+With the two matrices, one FastPPV iteration over a batch of ``B`` queries
+whose frontiers are stacked into a CSR matrix ``F`` of shape ``(B, H)`` is::
+
+    estimate += (F_gated @ scores).toarray()   # splice + trivial-tour fix
+    frontier  =  F_gated @ borders             # next arrival masses
+
+where ``F_gated`` keeps only the entries passing the per-query ``delta``
+gate of Algorithm 2, line 9.
+
+The lowering is cached on the ``PPVIndex`` instance (attribute
+``_splice_matrix``); indexes are treated as immutable once queried —
+:func:`repro.core.dynamic.update_index` returns a *new* index, so the
+cache can never go stale through the supported update path.  Call
+:func:`invalidate_splice_cache` after mutating ``index.entries`` in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.index import PPVIndex
+
+_CACHE_ATTR = "_splice_matrix"
+
+
+@dataclass(frozen=True)
+class SpliceMatrix:
+    """Matrix form of a PPV index (see module docstring).
+
+    Attributes
+    ----------
+    hub_ids:
+        Sorted hub node ids; position in this array is the hub's *row*
+        in both matrices (and its column in ``borders``).
+    scores:
+        CSR ``(H, n)`` of clipped prime-PPV scores, trivial-tour
+        corrected (the hub's own column holds ``score - alpha``).
+    borders:
+        CSR ``(H, H)`` of border arrival masses in hub-row space.
+    work:
+        ``int64 (H,)``: per-hub work units of one splice
+        (``nodes.size + border_hubs.size``).
+    """
+
+    hub_ids: np.ndarray
+    scores: sparse.csr_matrix
+    borders: sparse.csr_matrix
+    work: np.ndarray
+
+    @property
+    def num_hubs(self) -> int:
+        """Number of hub rows."""
+        return self.hub_ids.size
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of graph nodes (columns of ``scores``)."""
+        return self.scores.shape[1]
+
+    def rows_of(self, hubs: np.ndarray) -> np.ndarray:
+        """Map hub node ids to matrix rows.
+
+        Raises
+        ------
+        KeyError
+            If any of ``hubs`` is not an indexed hub.
+        """
+        hubs = np.asarray(hubs, dtype=np.int64)
+        if hubs.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self.hub_ids.size == 0:
+            raise KeyError(f"nodes {hubs.tolist()} are not indexed hubs")
+        rows = np.searchsorted(self.hub_ids, hubs)
+        clipped = np.minimum(rows, self.hub_ids.size - 1)
+        valid = self.hub_ids[clipped] == hubs
+        if not valid.all():
+            missing = hubs[~valid]
+            raise KeyError(f"nodes {missing.tolist()} are not indexed hubs")
+        return rows
+
+
+def build_splice_matrix(index: PPVIndex) -> SpliceMatrix:
+    """Lower ``index`` into :class:`SpliceMatrix` form (no caching).
+
+    Raises
+    ------
+    ValueError
+        If the index has a hub in its mask with no stored entry, or an
+        entry whose border hubs are not themselves indexed — either would
+        make a batch splice silently diverge from the scalar engine.
+    """
+    hub_ids = np.asarray(sorted(index.entries), dtype=np.int64)
+    mask_hubs = np.nonzero(index.hub_mask)[0]
+    if not np.array_equal(hub_ids, mask_hubs):
+        raise ValueError(
+            "index entries do not cover the hub mask; the batch engine "
+            "needs a prime PPV stored for every hub"
+        )
+    n = index.hub_mask.size
+    alpha = index.alpha
+
+    score_cols: list[np.ndarray] = []
+    score_vals: list[np.ndarray] = []
+    score_lens = np.zeros(hub_ids.size, dtype=np.int64)
+    border_cols: list[np.ndarray] = []
+    border_vals: list[np.ndarray] = []
+    border_lens = np.zeros(hub_ids.size, dtype=np.int64)
+    work = np.zeros(hub_ids.size, dtype=np.int64)
+
+    for row, hub in enumerate(hub_ids.tolist()):
+        entry = index.entries[hub]
+        values = entry.scores.astype(np.float64, copy=True)
+        own = np.searchsorted(entry.nodes, hub)
+        if own >= entry.nodes.size or entry.nodes[own] != hub:
+            raise ValueError(
+                f"hub {hub} entry lacks its own score; was it clipped "
+                "above alpha?"
+            )
+        # Fold the trivial-tour correction of Algorithm 2 into the row.
+        values[own] -= alpha
+        score_cols.append(entry.nodes)
+        score_vals.append(values)
+        score_lens[row] = entry.nodes.size
+
+        border_rows = np.searchsorted(hub_ids, entry.border_hubs)
+        if entry.border_hubs.size and not np.array_equal(
+            hub_ids[border_rows], entry.border_hubs
+        ):
+            raise ValueError(f"hub {hub} has border hubs outside the index")
+        border_cols.append(border_rows)
+        border_vals.append(entry.border_masses)
+        border_lens[row] = entry.border_hubs.size
+        work[row] = entry.nodes.size + entry.border_hubs.size
+
+    def assemble(cols, vals, lens, width) -> sparse.csr_matrix:
+        indptr = np.zeros(hub_ids.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        data = (
+            np.concatenate(vals) if vals else np.zeros(0)
+        )
+        indices = (
+            np.concatenate(cols).astype(np.int64)
+            if cols
+            else np.zeros(0, dtype=np.int64)
+        )
+        matrix = sparse.csr_matrix(
+            (data, indices, indptr), shape=(hub_ids.size, width)
+        )
+        matrix.eliminate_zeros()
+        return matrix
+
+    return SpliceMatrix(
+        hub_ids=hub_ids,
+        scores=assemble(score_cols, score_vals, score_lens, n),
+        borders=assemble(border_cols, border_vals, border_lens, hub_ids.size),
+        work=work,
+    )
+
+
+def splice_matrix(index: PPVIndex) -> SpliceMatrix:
+    """The cached :class:`SpliceMatrix` of ``index`` (built on first use)."""
+    cached = getattr(index, _CACHE_ATTR, None)
+    if cached is None:
+        cached = build_splice_matrix(index)
+        setattr(index, _CACHE_ATTR, cached)
+    return cached
+
+
+def invalidate_splice_cache(index: PPVIndex) -> None:
+    """Drop the cached lowering (call after mutating ``index.entries``)."""
+    if hasattr(index, _CACHE_ATTR):
+        delattr(index, _CACHE_ATTR)

@@ -1,0 +1,437 @@
+"""Batch engine: equivalence with the scalar engine, edge cases, caching,
+parallel builds, and the per-query callback contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchFastPPV,
+    FastPPV,
+    StopAfterIterations,
+    StopAtL1Error,
+    any_of,
+    build_index,
+    select_hubs,
+    social_graph,
+)
+from repro.core.prime import prime_ppv, prime_push_many
+from repro.core.query import DEFAULT_DELTA, QueryState
+from repro.core.splice import (
+    build_splice_matrix,
+    invalidate_splice_cache,
+    splice_matrix,
+)
+from repro.graph.build import GraphBuilder
+from repro.graph.generators import erdos_renyi_graph
+
+ATOL = 1e-12
+
+STOPS = [
+    StopAfterIterations(0),
+    StopAfterIterations(2),
+    StopAtL1Error(0.05),
+    any_of(StopAfterIterations(3), StopAtL1Error(0.01)),
+]
+
+
+def _weighted_variant(graph, seed: int):
+    """The same adjacency with seeded random edge weights."""
+    rng = np.random.default_rng(seed)
+    builder = GraphBuilder(num_nodes=graph.num_nodes)
+    for src in range(graph.num_nodes):
+        for dst in graph.out_neighbors(src).tolist():
+            builder.add_edge(src, dst, float(rng.uniform(0.2, 3.0)))
+    return builder.build()
+
+
+def _with_dangling(graph, extra: int = 3):
+    """Append ``extra`` sink nodes (zero out-degree) fed by node 0."""
+    builder = GraphBuilder(num_nodes=graph.num_nodes + extra)
+    weights = graph.weights
+    for src in range(graph.num_nodes):
+        start, end = graph.indptr[src], graph.indptr[src + 1]
+        for position in range(start, end):
+            weight = float(weights[position]) if weights is not None else None
+            builder.add_edge(src, int(graph.indices[position]), weight)
+    for sink in range(graph.num_nodes, graph.num_nodes + extra):
+        builder.add_edge(0, sink)
+    return builder.build()
+
+
+def _graph_zoo():
+    """Seeded ER + power-law graphs, weighted and unweighted, with
+    dangling nodes."""
+    er = erdos_renyi_graph(220, 3.0 / 220, seed=13)
+    power_law = social_graph(num_nodes=240, edges_per_node=3, seed=21)
+    zoo = [
+        ("er", _with_dangling(er)),
+        ("er-weighted", _with_dangling(_weighted_variant(er, seed=5))),
+        ("power-law", _with_dangling(power_law)),
+        ("power-law-weighted", _with_dangling(_weighted_variant(power_law, 9))),
+    ]
+    return zoo
+
+
+def _engines(graph, num_hubs=25, delta=1e-4, **kwargs):
+    hubs = select_hubs(graph, num_hubs=num_hubs)
+    index = build_index(graph, hubs)
+    scalar = FastPPV(graph, index, delta=delta, **kwargs)
+    batch = BatchFastPPV(graph, index, delta=delta, **kwargs)
+    return index, scalar, batch
+
+
+def assert_equivalent(scalar_result, batch_result):
+    assert batch_result.query == scalar_result.query
+    assert batch_result.iterations == scalar_result.iterations
+    assert batch_result.hubs_expanded == scalar_result.hubs_expanded
+    assert batch_result.work_units == scalar_result.work_units
+    assert len(batch_result.error_history) == len(scalar_result.error_history)
+    np.testing.assert_allclose(
+        batch_result.scores, scalar_result.scores, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        batch_result.error_history, scalar_result.error_history, atol=ATOL
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name,graph", _graph_zoo())
+    def test_matches_scalar_engine(self, name, graph):
+        index, scalar, batch = _engines(graph)
+        rng = np.random.default_rng(3)
+        queries = rng.choice(graph.num_nodes, size=24, replace=False).tolist()
+        # Make sure hub queries and dangling sinks are represented.
+        queries[0] = int(index.hubs[0])
+        queries[1] = graph.num_nodes - 1
+        for stop in STOPS:
+            batch_results = batch.query_many(queries, stop=stop)
+            for query, batch_result in zip(queries, batch_results):
+                assert_equivalent(scalar.query(query, stop=stop), batch_result)
+
+    def test_fastppv_query_many_delegates_to_batch(self, small_social,
+                                                   small_social_index):
+        engine = FastPPV(small_social, small_social_index, delta=1e-4)
+        stop = StopAfterIterations(2)
+        results = engine.query_many([9, 4, 4, 17], stop=stop)
+        assert [r.query for r in results] == [9, 4, 4, 17]
+        for query, result in zip([9, 4, 4, 17], results):
+            assert_equivalent(engine.query(query, stop=stop), result)
+
+    def test_default_delta_and_default_stop(self, small_social,
+                                            small_social_index):
+        scalar = FastPPV(small_social, small_social_index)
+        batch = BatchFastPPV(small_social, small_social_index)
+        assert batch.delta == DEFAULT_DELTA
+        for query, result in zip([2, 8], batch.query_many([2, 8])):
+            assert_equivalent(scalar.query(query), result)
+
+    def test_push_many_matches_prime_ppv(self):
+        graph = _with_dangling(erdos_renyi_graph(150, 0.03, seed=2))
+        hubs = select_hubs(graph, num_hubs=15)
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[hubs] = True
+        sources = np.array([0, 7, int(hubs[0]), graph.num_nodes - 1])
+        scores, border, edges = prime_push_many(
+            graph, sources, mask, alpha=0.15, epsilon=1e-7
+        )
+        for row, source in enumerate(sources.tolist()):
+            single = prime_ppv(graph, source, mask, alpha=0.15, epsilon=1e-7)
+            np.testing.assert_allclose(
+                scores[row], single.to_dense(graph.num_nodes), atol=ATOL
+            )
+            dense_border = np.zeros(graph.num_nodes)
+            dense_border[single.border_hubs] = single.border_masses
+            np.testing.assert_allclose(border[row], dense_border, atol=ATOL)
+            assert edges[row] == single.edges_touched
+
+
+class TestEdgeCases:
+    def test_empty_batch(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index)
+        assert batch.query_many([]) == []
+
+    def test_hub_query_in_batch(self, small_social, small_social_index):
+        hub = int(small_social_index.hubs[0])
+        scalar = FastPPV(small_social, small_social_index, delta=1e-4)
+        batch = BatchFastPPV(small_social, small_social_index, delta=1e-4)
+        (result,) = batch.query_many([hub], stop=StopAfterIterations(2))
+        assert_equivalent(scalar.query(hub, stop=StopAfterIterations(2)), result)
+        # A hub's iteration 0 loads from the index: no push work.
+        assert result.work_units >= 0
+
+    def test_duplicate_query_ids(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=0)
+        results = batch.query_many([6, 6, 6], stop=StopAfterIterations(1))
+        assert [r.query for r in results] == [6, 6, 6]
+        np.testing.assert_array_equal(results[0].scores, results[1].scores)
+        np.testing.assert_array_equal(results[0].scores, results[2].scores)
+        # Rows must be independent copies, not views of one buffer.
+        results[0].scores[0] += 1.0
+        assert results[1].scores[0] != results[0].scores[0]
+
+    def test_zero_out_degree_query(self):
+        # Node 4 is a sink: iteration 0 keeps alpha at the query and the
+        # frontier is empty, so the loop exits with 0 iterations.
+        graph = GraphBuilder(num_nodes=5)
+        for src, dst in [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]:
+            graph.add_edge(src, dst)
+        graph = graph.build()
+        index = build_index(graph, [0, 2])
+        scalar = FastPPV(graph, index)
+        batch = BatchFastPPV(graph, index)
+        (result,) = batch.query_many([4], stop=StopAfterIterations(5))
+        assert_equivalent(scalar.query(4, stop=StopAfterIterations(5)), result)
+        assert result.iterations == 0
+        assert result.scores[4] == pytest.approx(index.alpha)
+
+    def test_delta_prunes_whole_frontier(self, small_social,
+                                         small_social_index):
+        # A delta above alpha gates every frontier entry: iteration 1
+        # still runs (and is recorded) but expands nothing, emptying the
+        # frontier and ending the query.
+        scalar = FastPPV(small_social, small_social_index, delta=1.0)
+        batch = BatchFastPPV(small_social, small_social_index, delta=1.0)
+        stop = StopAfterIterations(4)
+        (result,) = batch.query_many([3], stop=stop)
+        assert_equivalent(scalar.query(3, stop=stop), result)
+        assert result.iterations == 1
+        assert result.hubs_expanded == 0
+        assert len(result.error_history) == 2
+        assert result.error_history[0] == pytest.approx(
+            result.error_history[1]
+        )
+
+    def test_parallel_build_matches_serial(self, small_social):
+        hubs = select_hubs(small_social, num_hubs=30)
+        serial = build_index(small_social, hubs, workers=1)
+        parallel = build_index(small_social, hubs, workers=4)
+        assert set(serial.entries) == set(parallel.entries)
+        for hub, entry in serial.entries.items():
+            other = parallel.entries[hub]
+            np.testing.assert_array_equal(entry.nodes, other.nodes)
+            np.testing.assert_array_equal(entry.scores, other.scores)
+            np.testing.assert_array_equal(entry.border_hubs, other.border_hubs)
+            np.testing.assert_array_equal(
+                entry.border_masses, other.border_masses
+            )
+            assert entry.edges_touched == other.edges_touched
+        assert serial.stats.num_hubs == parallel.stats.num_hubs
+        assert serial.stats.stored_entries == parallel.stats.stored_entries
+        assert serial.stats.stored_bytes == parallel.stats.stored_bytes
+        assert serial.stats.border_entries == parallel.stats.border_entries
+        np.testing.assert_array_equal(serial.hub_mask, parallel.hub_mask)
+
+    def test_workers_validation(self, small_social):
+        with pytest.raises(ValueError):
+            build_index(small_social, [1, 2], workers=0)
+
+    def test_chunked_batches(self, small_social, small_social_index):
+        # A chunk size smaller than the batch must not change results.
+        full = BatchFastPPV(small_social, small_social_index, cache_size=0)
+        chunked = BatchFastPPV(
+            small_social, small_social_index, cache_size=0, chunk_size=3
+        )
+        queries = list(range(10))
+        for a, b in zip(full.query_many(queries), chunked.query_many(queries)):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.iterations == b.iterations
+
+    def test_out_of_range_query_rejected(self, small_social,
+                                         small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index)
+        with pytest.raises(ValueError):
+            batch.query_many([small_social.num_nodes])
+
+
+class TestSpliceMatrix:
+    def test_cached_on_index(self, small_social_index):
+        first = splice_matrix(small_social_index)
+        assert splice_matrix(small_social_index) is first
+        invalidate_splice_cache(small_social_index)
+        rebuilt = splice_matrix(small_social_index)
+        assert rebuilt is not first
+        np.testing.assert_array_equal(rebuilt.hub_ids, first.hub_ids)
+
+    def test_shapes_and_correction(self, small_social, small_social_index):
+        matrix = build_splice_matrix(small_social_index)
+        num_hubs = small_social_index.num_hubs
+        assert matrix.scores.shape == (num_hubs, small_social.num_nodes)
+        assert matrix.borders.shape == (num_hubs, num_hubs)
+        # Each hub's own column carries score - alpha (trivial tour removed).
+        for row in [0, num_hubs // 2, num_hubs - 1]:
+            hub = int(matrix.hub_ids[row])
+            entry = small_social_index.get(hub)
+            expected = entry.score_of(hub) - small_social_index.alpha
+            assert matrix.scores[row, hub] == pytest.approx(expected)
+
+    def test_engine_follows_invalidation(self, small_social,
+                                         small_social_index):
+        # An existing engine must pick up a rebuilt lowering after
+        # invalidate_splice_cache, not keep serving a private stale copy.
+        engine = BatchFastPPV(small_social, small_social_index)
+        before = engine.splice
+        assert engine.splice is before
+        invalidate_splice_cache(small_social_index)
+        assert engine.splice is not before
+
+    def test_rows_of_empty_input(self, small_social_index):
+        matrix = splice_matrix(small_social_index)
+        assert matrix.rows_of(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_rows_of_rejects_non_hub(self, small_social_index):
+        matrix = splice_matrix(small_social_index)
+        non_hub = int(np.nonzero(~small_social_index.hub_mask)[0][0])
+        with pytest.raises(KeyError):
+            matrix.rows_of(np.array([non_hub]))
+
+
+class TestCache:
+    def test_repeated_queries_hit_cache(self, small_social,
+                                        small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8)
+        stop = StopAfterIterations(2)
+        (first,) = batch.query_many([5], stop=stop)
+        (second,) = batch.query_many([5], stop=stop)
+        np.testing.assert_array_equal(first.scores, second.scores)
+        assert len(batch._cache) == 1
+
+    def test_cache_isolated_from_caller_mutation(self, small_social,
+                                                 small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8)
+        (first,) = batch.query_many([5])
+        first.scores[:] = -1.0
+        (second,) = batch.query_many([5])
+        assert second.scores[0] != -1.0
+
+    def test_cache_bounded(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=4)
+        batch.query_many(list(range(10)))
+        assert len(batch._cache) == 4
+
+    def test_distinct_stops_cached_separately(self, small_social,
+                                              small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8)
+        (eta0,) = batch.query_many([5], stop=StopAfterIterations(0))
+        (eta2,) = batch.query_many([5], stop=StopAfterIterations(2))
+        assert eta0.iterations == 0
+        assert eta2.iterations > 0
+        assert len(batch._cache) == 2
+
+    def test_cache_disabled(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=0)
+        batch.query_many([5, 5])
+        assert len(batch._cache) == 0
+
+    def test_cache_dropped_on_lowering_invalidation(self, small_social,
+                                                    small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8)
+        batch.query_many([5])
+        assert len(batch._cache) == 1
+        invalidate_splice_cache(small_social_index)
+        # The next batch sees a rebuilt lowering and must not serve
+        # results computed against the old one.
+        batch.query_many([6])
+        assert (5, StopAfterIterations(2)) not in batch._cache
+        assert (6, StopAfterIterations(2)) in batch._cache
+
+    def test_non_batch_safe_stops_use_scalar_path(self, small_social,
+                                                  small_social_index):
+        from repro import StopAfterTime
+        from repro.core.batch import batch_safe
+
+        class CustomStop:
+            def should_stop(self, state):
+                return state.iteration >= 1
+
+        assert not batch_safe(StopAfterTime(1.0))
+        assert not batch_safe(any_of(StopAfterIterations(2),
+                                     StopAfterTime(1.0)))
+        assert not batch_safe(CustomStop())
+        assert batch_safe(any_of(StopAfterIterations(2),
+                                 StopAtL1Error(0.1)))
+        engine = FastPPV(small_social, small_social_index, delta=1e-4)
+        # A custom (uninspectable) condition routes per query too.
+        custom_results = engine.query_many([3], stop=CustomStop())
+        assert custom_results[0].iterations == 1
+        assert len(engine.batch_engine._cache) == 0
+        stop = any_of(StopAfterIterations(2), StopAfterTime(1e9))
+        calls: list[int] = []
+        results = engine.query_many(
+            [3, 8], stop=stop,
+            on_iteration=lambda position, state: calls.append(position),
+        )
+        # Per-query scalar semantics: results match scalar queries and the
+        # positional callback contract still holds.
+        for query, result in zip([3, 8], results):
+            assert_equivalent(engine.query(query, stop=stop), result)
+        assert set(calls) == {0, 1}
+        # Nothing routed through the batch engine's cache.
+        assert len(engine.batch_engine._cache) == 0
+
+    def test_default_chunk_size_is_graph_aware(self, small_social,
+                                               small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index)
+        assert 16 <= batch.chunk_size <= 512
+
+
+class TestCallbackContract:
+    def test_invocation_counts(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, delta=1e-4)
+        calls: dict[int, list[QueryState]] = {}
+        queries = [4, 9, 9]
+        results = batch.query_many(
+            queries,
+            stop=StopAfterIterations(2),
+            on_iteration=lambda position, state: calls.setdefault(
+                position, []
+            ).append(state),
+        )
+        assert sorted(calls) == [0, 1, 2]
+        for position, result in enumerate(results):
+            # One call per executed iteration, iteration 0 included.
+            assert len(calls[position]) == result.iterations + 1
+            assert [s.iteration for s in calls[position]] == list(
+                range(result.iterations + 1)
+            )
+            assert calls[position][-1].l1_error == pytest.approx(
+                result.l1_error
+            )
+
+    def test_callback_counts_match_scalar_engine(self, small_social,
+                                                 small_social_index):
+        scalar = FastPPV(small_social, small_social_index, delta=1e-4)
+        scalar_calls: list[QueryState] = []
+        scalar.query(
+            7, stop=StopAfterIterations(2), on_iteration=scalar_calls.append
+        )
+        batch_calls: list[QueryState] = []
+        scalar.query_many(
+            [7],
+            stop=StopAfterIterations(2),
+            on_iteration=lambda _position, state: batch_calls.append(state),
+        )
+        assert len(batch_calls) == len(scalar_calls)
+        assert [s.iteration for s in batch_calls] == [
+            s.iteration for s in scalar_calls
+        ]
+
+    def test_callback_bypasses_cache(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8)
+        batch.query_many([5])  # populate the cache
+        count = 0
+
+        def tick(position, state):
+            nonlocal count
+            count += 1
+
+        (result,) = batch.query_many([5], on_iteration=tick)
+        assert count == result.iterations + 1
+
+    def test_single_query_callback(self, small_social, small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index)
+        states: list[QueryState] = []
+        result = batch.query(11, stop=StopAfterIterations(1),
+                             on_iteration=states.append)
+        assert len(states) == result.iterations + 1
