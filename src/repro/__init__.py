@@ -30,6 +30,8 @@ from repro.core import (
     StopAfterIterations,
     StopAfterTime,
     StopAtL1Error,
+    StopWhenCertified,
+    TopKResult,
     any_of,
     autotune_hub_count,
     build_index,
@@ -39,6 +41,7 @@ from repro.core import (
     multi_node_ppv,
     query_time_l1_error,
     query_top_k,
+    query_top_k_many,
     select_hubs,
 )
 from repro.graph import (
@@ -84,6 +87,9 @@ __all__ = [
     "query_time_l1_error",
     "multi_node_ppv",
     "query_top_k",
+    "query_top_k_many",
+    "StopWhenCertified",
+    "TopKResult",
     "autotune_hub_count",
     "from_weighted_edges",
 ]

@@ -1,17 +1,24 @@
 """Command-line interface.
 
-Five subcommands cover the offline/online lifecycle end to end::
+The subcommands cover the offline/online lifecycle end to end::
 
     repro-fastppv generate social --nodes 5000 --out graph.txt
     repro-fastppv info graph.txt
     repro-fastppv index graph.txt --hubs 300 --workers 4 --out graph.fppv
     repro-fastppv query graph.txt graph.fppv 42 --top 10 --eta 2
     repro-fastppv query graph.txt graph.fppv 42 7 19 --batch
+    repro-fastppv query graph.txt graph.fppv 42 7 19 --top-k 10
+    repro-fastppv disk-query graph.txt graph.fppv 42 7 19 --clusters 12
     repro-fastppv autotune graph.txt
 
 ``index --workers N`` parallelises the offline build; giving ``query``
 several nodes (or ``--batch``) routes them through the batched
-sparse-matrix engine of :mod:`repro.core.batch`.
+sparse-matrix engine of :mod:`repro.core.batch`.  ``query --top-k K``
+switches to certified top-k serving: each query runs until its top set
+is provably exact.  ``disk-query`` replays the Sect. 5.3 reduced-memory
+deployment (cluster-segmented graph, on-disk PPV index) and reports the
+cluster faults and hub reads every query paid; batches amortise that I/O
+through :class:`~repro.storage.disk_engine.BatchDiskFastPPV`.
 
 Graphs travel as whitespace edge lists (the SNAP convention), indexes as
 the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
@@ -20,7 +27,9 @@ the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
 from typing import Sequence
 
 from repro.core.autotune import autotune_hub_count
@@ -33,10 +42,14 @@ from repro.core.query import (
     StopAtL1Error,
     any_of,
 )
+from repro.core.topk import query_top_k
 from repro.graph.analysis import graph_stats
 from repro.graph.generators import bibliographic_graph, erdos_renyi_graph, social_graph
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.storage.ppv_store import load_index, save_index
+
+DEFAULT_TOPK_BUDGET = 32
+"""Certificate iteration budget when ``--eta`` is not given explicitly."""
 
 
 def _add_generate(subparsers) -> None:
@@ -140,7 +153,18 @@ def _add_query(subparsers) -> None:
         "one at a time so each keeps its own time budget)",
     )
     parser.add_argument("--top", type=int, default=10)
-    parser.add_argument("--eta", type=int, default=2, help="iteration budget")
+    parser.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="serve certified top-K: iterate until the top-K set is "
+        "provably exact (--eta becomes the certificate budget, default "
+        f"{DEFAULT_TOPK_BUDGET}); incompatible with --target-error and "
+        "--time-limit",
+    )
+    parser.add_argument(
+        "--eta", type=int, default=None,
+        help="iteration budget (default 2; with --top-k, the certificate "
+        f"budget, default {DEFAULT_TOPK_BUDGET})",
+    )
     parser.add_argument(
         "--target-error", type=float, default=None,
         help="stop early once the L1 error is below this",
@@ -155,6 +179,15 @@ def _add_query(subparsers) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.top_k is not None and (
+        args.target_error is not None or args.time_limit is not None
+    ):
+        print(
+            "error: --top-k runs until its certificate fires and cannot "
+            "be combined with --target-error / --time-limit",
+            file=sys.stderr,
+        )
+        return 2
     graph = read_edge_list(args.graph, undirected=args.undirected)
     index = load_index(args.index)
     if index.hub_mask.size != graph.num_nodes:
@@ -165,13 +198,49 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     engine = FastPPV(graph, index, delta=args.delta)
-    conditions = [StopAfterIterations(args.eta)]
+    batched = args.batch or len(args.node) > 1
+
+    if args.top_k is not None:
+        budget = args.eta if args.eta is not None else DEFAULT_TOPK_BUDGET
+        if batched:
+            results = engine.query_many(
+                args.node, top_k=args.top_k, top_k_max_iterations=budget
+            )
+        else:
+            results = [
+                query_top_k(
+                    engine, args.node[0], k=args.top_k, max_iterations=budget
+                )
+            ]
+        for query, result in zip(args.node, results):
+            status = "certified" if result.certified else "UNCERTIFIED"
+            print(
+                f"query {query}: top-{args.top_k} {status} after "
+                f"{result.iterations} iterations, "
+                f"L1 error {result.l1_error:.4f}"
+            )
+            for rank, node in enumerate(result.nodes, start=1):
+                print(
+                    f"{rank:4d}. node {int(node):8d}  "
+                    f"score {result.scores[node]:.6f}"
+                )
+        if not any(result.certified for result in results) and index.clip > 0:
+            print(
+                f"hint: no certificate fired — the index clips stored "
+                f"entries at {index.clip:g}, which floors the reachable L1 "
+                "error; rebuild with `index --clip 0` for tight certificates",
+                file=sys.stderr,
+            )
+        return 0
+
+    eta = args.eta if args.eta is not None else 2
+    conditions = [StopAfterIterations(eta)]
     if args.target_error is not None:
         conditions.append(StopAtL1Error(args.target_error))
     if args.time_limit is not None:
         conditions.append(StopAfterTime(args.time_limit))
     stop = any_of(*conditions)
-    if args.batch or len(args.node) > 1:
+    if batched:
         results = engine.query_many(args.node, stop=stop)
     else:
         results = [engine.query(args.node[0], stop=stop)]
@@ -184,6 +253,116 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(
                 f"{rank:4d}. node {int(node):8d}  score {result.scores[node]:.6f}"
             )
+    return 0
+
+
+def _add_disk_query(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "disk-query",
+        help="run queries against a disk-resident deployment (Sect. 5.3)",
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("index", help=".fppv index path")
+    parser.add_argument("node", type=int, nargs="+")
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="serve all nodes as one batch, amortising cluster faults and "
+        "hub reads (automatic when more than one node is given)",
+    )
+    parser.add_argument(
+        "--clusters", type=int, default=8,
+        help="number of PPR clusters the graph is segmented into",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=1,
+        help="clusters resident in memory at once (the paper keeps 1)",
+    )
+    parser.add_argument(
+        "--fault-budget", type=int, default=None,
+        help="per-query cluster-fault budget (default: number of clusters)",
+    )
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--eta", type=int, default=2, help="iteration budget")
+    parser.add_argument("--delta", type=float, default=0.005)
+    parser.add_argument("--seed", type=int, default=0, help="clustering seed")
+    parser.add_argument(
+        "--workdir", default=None,
+        help="directory for the cluster files (default: a temp dir)",
+    )
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_disk_query)
+
+
+def _cmd_disk_query(args: argparse.Namespace) -> int:
+    from repro.storage import (
+        BatchDiskFastPPV,
+        DiskFastPPV,
+        DiskGraphStore,
+        DiskPPVStore,
+        cluster_graph,
+    )
+
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    # Validate the graph/index pair before paying for clustering and the
+    # cluster files; only then segment the graph.
+    cleanup_workdir = args.workdir is None
+    workdir = (
+        args.workdir
+        if args.workdir is not None
+        else tempfile.mkdtemp(prefix="fastppv_disk_")
+    )
+    try:
+        with DiskPPVStore(args.index) as ppv_store:
+            if ppv_store.num_nodes != graph.num_nodes:
+                print(
+                    f"error: index covers {ppv_store.num_nodes} nodes but "
+                    f"the graph has {graph.num_nodes}",
+                    file=sys.stderr,
+                )
+                return 2
+            assignment = cluster_graph(graph, args.clusters, seed=args.seed)
+            graph_store = DiskGraphStore(
+                graph, assignment, workdir, memory_budget=args.memory_budget
+            )
+            stop = StopAfterIterations(args.eta)
+            faults_before = graph_store.faults
+            reads_before = ppv_store.reads
+            if args.batch or len(args.node) > 1:
+                engine = BatchDiskFastPPV(
+                    graph_store, ppv_store, delta=args.delta,
+                    fault_budget=args.fault_budget,
+                )
+                results = engine.query_many(args.node, stop=stop)
+            else:
+                engine = DiskFastPPV(
+                    graph_store, ppv_store, delta=args.delta,
+                    fault_budget=args.fault_budget,
+                )
+                results = [engine.query(args.node[0], stop=stop)]
+            physical_faults = graph_store.faults - faults_before
+            physical_reads = ppv_store.reads - reads_before
+    finally:
+        if cleanup_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    for result in results:
+        inner = result.result
+        truncated = ", truncated" if result.truncated else ""
+        print(
+            f"query {inner.query}: {inner.iterations} iterations, "
+            f"L1 error {inner.l1_error:.4f}, "
+            f"{result.cluster_faults} faults, {result.hub_reads} hub reads"
+            f"{truncated}"
+        )
+        for rank, node in enumerate(inner.top_k(args.top), start=1):
+            print(
+                f"{rank:4d}. node {int(node):8d}  score {inner.scores[node]:.6f}"
+            )
+    print(
+        f"physical I/O for {len(results)} queries: {physical_faults} cluster "
+        f"faults, {physical_reads} hub reads "
+        f"({assignment.num_clusters} clusters, memory budget "
+        f"{args.memory_budget})"
+    )
     return 0
 
 
@@ -262,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_info(subparsers)
     _add_index(subparsers)
     _add_query(subparsers)
+    _add_disk_query(subparsers)
     _add_autotune(subparsers)
     _add_validate(subparsers)
     return parser

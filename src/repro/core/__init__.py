@@ -52,7 +52,12 @@ from repro.core.query import (
     StopAtL1Error,
     any_of,
 )
-from repro.core.topk import TopKResult, query_top_k
+from repro.core.topk import (
+    StopWhenCertified,
+    TopKResult,
+    query_top_k,
+    query_top_k_many,
+)
 
 __all__ = [
     "exact_ppv",
@@ -80,6 +85,8 @@ __all__ = [
     "query_time_l1_error",
     "multi_node_ppv",
     "query_top_k",
+    "query_top_k_many",
+    "StopWhenCertified",
     "TopKResult",
     "add_edges",
     "remove_edges",

@@ -66,6 +66,7 @@ from repro.core.query import (
 )
 from repro.core.prime import prime_push_many
 from repro.core.splice import SpliceMatrix, splice_matrix
+from repro.core.topk import StopWhenCertified, TopKResult, top_k_result
 
 BatchCallback = Callable[[int, QueryState], None]
 """Per-query iteration callback: ``(position_in_batch, state)``.
@@ -87,7 +88,7 @@ memory-bounded slices rather than one ``batch x n`` allocation."""
 
 def _cacheable(stop: StoppingCondition) -> bool:
     """Whether results under ``stop`` are deterministic and keyable."""
-    if isinstance(stop, (StopAfterIterations, StopAtL1Error)):
+    if isinstance(stop, (StopAfterIterations, StopAtL1Error, StopWhenCertified)):
         return True
     if isinstance(stop, _AnyOf):
         return all(_cacheable(c) for c in stop.conditions)
@@ -98,7 +99,8 @@ def batch_safe(stop: StoppingCondition) -> bool:
     """Whether batching cannot change what ``stop`` means per query.
 
     Only the pure, stateless built-ins qualify
-    (:class:`StopAfterIterations`, :class:`StopAtL1Error` and ``any_of``
+    (:class:`StopAfterIterations`, :class:`StopAtL1Error`,
+    :class:`~repro.core.topk.StopWhenCertified` and ``any_of``
     combinations of them).  :class:`StopAfterTime` reads
     ``QueryState.elapsed_seconds`` — shared batch time here, a per-query
     budget in the scalar engine — and arbitrary user conditions may be
@@ -259,6 +261,56 @@ class BatchFastPPV:
                     self._cache_put(cache_key(ids[position]), result)
         return results  # type: ignore[return-value]
 
+    def query_top_k_many(
+        self,
+        queries: Sequence[int],
+        k: int = 10,
+        max_iterations: int = 32,
+        on_iteration: BatchCallback | None = None,
+    ) -> list[TopKResult]:
+        """Certified top-k for a whole batch of queries, preserving order.
+
+        Batch-retirement contract
+        -------------------------
+        The batch runs in lock-step rounds, but every query carries its
+        *own* top-k certificate (the phi-gap rule of
+        :mod:`repro.core.topk`): after each round the certificates of all
+        in-flight queries are checked in one vectorised pass
+        (:meth:`~repro.core.topk.StopWhenCertified.should_stop_many`),
+        and a query **retires from the batch the moment its certificate
+        fires** — it stops consuming rounds while uncertified neighbours
+        keep iterating towards ``max_iterations``.  Each query therefore
+        performs exactly as many incremental iterations as the scalar
+        :func:`~repro.core.topk.query_top_k` would (same certified sets,
+        same per-query iteration counts), with the per-round work batched
+        into the two sparse matrix products of the chunk engine.
+
+        Certificate soundness follows the scalar contract: build the
+        engine with ``delta = 0`` for a formally sound certificate (a
+        positive ``delta`` makes the Eq. 6 error slightly optimistic
+        about pruned mass).  Completed results are served from the LRU
+        cache keyed by ``(query, StopWhenCertified(k, max_iterations))``,
+        so repeats of a certified query cost no graph work.
+
+        Parameters
+        ----------
+        queries:
+            Query node ids (duplicates allowed).
+        k:
+            Size of the wanted top set.
+        max_iterations:
+            Per-query certificate budget; queries whose certificate never
+            fires within it are returned with ``certified=False``.
+        on_iteration:
+            Optional :data:`BatchCallback`, as in :meth:`query_many`
+            (supplying it bypasses the result cache).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        stop = StopWhenCertified(k=k, max_iterations=max_iterations)
+        results = self.query_many(queries, stop=stop, on_iteration=on_iteration)
+        return [top_k_result(result, k) for result in results]
+
     # ------------------------------------------------------------------ #
 
     @staticmethod
@@ -359,15 +411,34 @@ class BatchFastPPV:
                 on_iteration(i, state_of(local))
 
         # ---- incremental rounds: splice whole frontiers at once.
+        # Conditions exposing a vectorised ``should_stop_many`` (e.g. the
+        # certified top-k rule) are evaluated for every in-flight query of
+        # the round in one pass instead of per-query Python calls; the
+        # decisions are identical by that method's contract.
+        stop_many = getattr(stop, "should_stop_many", None)
         active = list(range(k))
         while active:
+            if stop_many is not None:
+                rows = np.asarray(active, dtype=np.int64)
+                stop_mask = np.asarray(
+                    stop_many(
+                        iterations[rows],
+                        np.array([error_history[local][-1] for local in active]),
+                        estimate[rows],
+                    ),
+                    dtype=bool,
+                )
             runnable: list[int] = []
-            for local in active:
+            for offset, local in enumerate(active):
                 frontier = frontiers[local]
                 if (
                     frontier.rows.size == 0
                     or iterations[local] >= self.max_iterations
-                    or stop.should_stop(state_of(local))
+                    or (
+                        stop_mask[offset]
+                        if stop_many is not None
+                        else stop.should_stop(state_of(local))
+                    )
                 ):
                     seconds[local] = time.perf_counter() - started
                 else:

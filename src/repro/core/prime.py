@@ -150,75 +150,39 @@ def prime_ppv(
     bounded by ``log(epsilon) / log(1 - alpha)``.  The computation is exact
     up to the ``epsilon`` truncation (identical in kind to the paper's DFS
     cut-off).
+
+    This is a thin wrapper over :func:`prime_push_many` with a batch of
+    one, so the scalar and batched engines share one kernel and their
+    summation-order lockstep is structural rather than documented.  The
+    output is bit-for-bit identical to a *batch-of-one*
+    ``prime_push_many`` call (pinned by ``tests/test_prime.py``); rows
+    of multi-source calls can differ by ~1e-16 relative because the
+    dense aggregation path's round choices depend on batch composition
+    (see the equivalence note in :func:`prime_push_many`).
     """
     n = graph.num_nodes
     if not 0 <= source < n:
         raise ValueError(f"source node {source} out of range")
-    if hub_mask.shape != (n,):
-        raise ValueError("hub_mask must have one entry per node")
-    indptr, indices = graph.indptr, graph.indices
-    out_degrees = graph.out_degrees
-    edge_probabilities = graph.edge_probabilities
-
-    scores = np.zeros(n)
-    border = np.zeros(n)
-    touched: list[np.ndarray] = []
-    # Residual kept sparse as (unique sorted nodes, masses) — the frontier
-    # is tiny compared to the graph, so per-round work stays local.
-    active = np.array([source], dtype=np.int64)
-    masses = np.array([1.0])
-    first_round = True
-    edges_touched = 0
-
-    for _ in range(_max_rounds(alpha, epsilon)):
-        scores[active] += alpha * masses
-        touched.append(active)
-
-        absorbed = hub_mask[active]
-        if first_round:
-            # The initial unit at the source always expands.
-            absorbed = absorbed & (active != source)
-        border[active[absorbed]] += masses[absorbed]
-
-        expand = ~absorbed & (masses >= epsilon) & (out_degrees[active] > 0)
-        expand_nodes = active[expand]
-        expand_masses = masses[expand]
-        first_round = False
-        if expand_nodes.size == 0:
-            break
-
-        counts = out_degrees[expand_nodes]
-        starts = indptr[expand_nodes]
-        total = int(counts.sum())
-        edges_touched += total
-        # Gather all out-edges of the expanding nodes in one shot.
-        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-        edge_ids = np.repeat(starts, counts) + offsets
-        targets = indices[edge_ids]
-        shares = (
-            (1.0 - alpha)
-            * np.repeat(expand_masses, counts)
-            * edge_probabilities[edge_ids]
-        )
-        # Aggregate shares per target without touching an n-sized buffer.
-        order = np.argsort(targets, kind="stable")
-        sorted_targets = targets[order]
-        sorted_shares = shares[order]
-        boundaries = np.nonzero(np.diff(sorted_targets))[0] + 1
-        group_starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
-        active = sorted_targets[group_starts].astype(np.int64)
-        masses = np.add.reduceat(sorted_shares, group_starts)
-
-    support = np.unique(np.concatenate(touched))
-    support = support[scores[support] > 0.0]
-    border_hubs = np.nonzero(border)[0]
+    scores, border, edges_touched = prime_push_many(
+        graph,
+        np.array([source], dtype=np.int64),
+        hub_mask,
+        alpha=alpha,
+        epsilon=epsilon,
+    )
+    row = scores[0]
+    border_row = border[0]
+    # Every touched node keeps alpha of a strictly positive arrival mass,
+    # so the support is exactly the non-zero entries of the dense row.
+    support = np.nonzero(row)[0].astype(np.int64)
+    border_hubs = np.nonzero(border_row)[0].astype(np.int64)
     return PrimePPV(
         source=source,
-        nodes=support.astype(np.int64),
-        scores=scores[support],
-        border_hubs=border_hubs.astype(np.int64),
-        border_masses=border[border_hubs],
-        edges_touched=edges_touched,
+        nodes=support,
+        scores=row[support],
+        border_hubs=border_hubs,
+        border_masses=border_row[border_hubs],
+        edges_touched=int(edges_touched[0]),
     )
 
 

@@ -338,7 +338,9 @@ class FastPPV:
         queries: Sequence[int],
         stop: StoppingCondition | None = None,
         on_iteration: "Callable[[int, QueryState], None] | None" = None,
-    ) -> list[QueryResult]:
+        top_k: int | None = None,
+        top_k_max_iterations: int = 32,
+    ) -> list:
         """Run a whole workload through the batch engine, preserving order.
 
         Equivalent to calling :meth:`query` per element (see
@@ -347,8 +349,17 @@ class FastPPV:
         query's *position in the batch* as a first argument:
         ``on_iteration(position, state)``.
 
+        Passing ``top_k`` switches the workload to certified top-k
+        serving: every query runs until its top-``top_k`` set is provably
+        exact (or ``top_k_max_iterations`` is exhausted) and a
+        :class:`~repro.core.topk.TopKResult` is returned per query — see
+        :meth:`~repro.core.batch.BatchFastPPV.query_top_k_many` for the
+        batch-retirement contract.  ``top_k`` is mutually exclusive with
+        ``stop``.
+
         Only the pure built-in stopping conditions
-        (:class:`StopAfterIterations`, :class:`StopAtL1Error` and
+        (:class:`StopAfterIterations`, :class:`StopAtL1Error`,
+        :class:`~repro.core.topk.StopWhenCertified` and
         :func:`any_of` combinations of them) take the batch path.
         Time-based and user-defined conditions keep the original
         per-query scalar loop: in a batch, elapsed time is shared and
@@ -359,6 +370,15 @@ class FastPPV:
         """
         from repro.core.batch import batch_safe
 
+        if top_k is not None:
+            if stop is not None:
+                raise ValueError("pass either stop or top_k, not both")
+            return self.batch_engine.query_top_k_many(
+                queries,
+                k=top_k,
+                max_iterations=top_k_max_iterations,
+                on_iteration=on_iteration,
+            )
         if stop is not None and not batch_safe(stop):
             results = []
             for position, query in enumerate(queries):

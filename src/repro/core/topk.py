@@ -19,10 +19,11 @@ out), typically far earlier than a fixed accuracy target would require.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.query import FastPPV
+from repro.core.query import FastPPV, QueryResult
 from repro.metrics.ranking import top_k_nodes
 
 
@@ -62,9 +63,35 @@ def _certificate_holds(scores: np.ndarray, k: int, phi: float) -> bool:
     return bool(kth > next_best + phi)
 
 
+def _certificates_hold_many(
+    rows: np.ndarray, k: int, phis: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`_certificate_holds` over stacked score rows.
+
+    The scalar check compares the k-th and (k+1)-th best *values* (the
+    tie-break of ``top_k_nodes`` picks which node carries them, never the
+    values themselves), so a partial sort per row decides identically.
+    """
+    num_rows, n = rows.shape
+    if k >= n:
+        return np.ones(num_rows, dtype=bool)
+    part = np.partition(rows, (n - k - 1, n - k), axis=1)
+    kth = part[:, n - k]
+    next_best = part[:, n - k - 1]
+    return kth > next_best + phis
+
+
 @dataclass(frozen=True)
-class _StopWhenCertified:
-    """Stopping condition: halt once the top-k certificate holds."""
+class StopWhenCertified:
+    """Stopping condition: halt once the top-k certificate holds.
+
+    Pure and stateless (a frozen dataclass), so one instance may gate a
+    whole batch and completed results may be cached keyed by it.  The
+    scalar engine consults :meth:`should_stop` per iteration; the batch
+    engine of :mod:`repro.core.batch` detects :meth:`should_stop_many`
+    and evaluates every in-flight query's certificate for the round in
+    one vectorised pass.
+    """
 
     k: int
     max_iterations: int
@@ -75,6 +102,38 @@ class _StopWhenCertified:
         if state.scores is None:
             return False
         return _certificate_holds(state.scores, self.k, state.l1_error)
+
+    def should_stop_many(
+        self,
+        iterations: np.ndarray,
+        l1_errors: np.ndarray,
+        scores: np.ndarray,
+    ) -> np.ndarray:
+        """Per-row :meth:`should_stop` for stacked live queries.
+
+        ``iterations``/``l1_errors`` are aligned with the rows of
+        ``scores``; returns a boolean mask of queries that must stop.
+        Decisions are identical to calling :meth:`should_stop` per row.
+        """
+        return (iterations >= self.max_iterations) | _certificates_hold_many(
+            scores, self.k, l1_errors
+        )
+
+
+def top_k_result(result: QueryResult, k: int) -> TopKResult:
+    """Wrap a finished :class:`QueryResult` as a :class:`TopKResult`.
+
+    Re-evaluates the certificate on the final estimate, so the reported
+    ``certified`` flag is sound even when iteration stopped for another
+    reason (budget, empty frontier).
+    """
+    return TopKResult(
+        nodes=top_k_nodes(result.scores, k),
+        certified=_certificate_holds(result.scores, k, result.l1_error),
+        iterations=result.iterations,
+        l1_error=result.l1_error,
+        scores=result.scores,
+    )
 
 
 def query_top_k(
@@ -106,12 +165,25 @@ def query_top_k(
     if k <= 0:
         raise ValueError("k must be positive")
     result = engine.query(
-        query, stop=_StopWhenCertified(k=k, max_iterations=max_iterations)
+        query, stop=StopWhenCertified(k=k, max_iterations=max_iterations)
     )
-    return TopKResult(
-        nodes=top_k_nodes(result.scores, k),
-        certified=_certificate_holds(result.scores, k, result.l1_error),
-        iterations=result.iterations,
-        l1_error=result.l1_error,
-        scores=result.scores,
-    )
+    return top_k_result(result, k)
+
+
+def query_top_k_many(
+    engine,
+    queries: Sequence[int],
+    k: int = 10,
+    max_iterations: int = 32,
+) -> list[TopKResult]:
+    """Batched :func:`query_top_k`: one certified top-k per query.
+
+    ``engine`` may be a :class:`~repro.core.query.FastPPV` (its lazily
+    built batch twin is used) or a
+    :class:`~repro.core.batch.BatchFastPPV`.  See
+    :meth:`~repro.core.batch.BatchFastPPV.query_top_k_many` for the
+    batch-retirement contract; results are equivalent to calling
+    :func:`query_top_k` per query on the scalar engine.
+    """
+    batch = getattr(engine, "batch_engine", engine)
+    return batch.query_top_k_many(queries, k=k, max_iterations=max_iterations)

@@ -15,7 +15,13 @@ Three pieces:
 """
 
 from repro.storage.clustering import ClusterAssignment, cluster_graph
-from repro.storage.disk_engine import DiskFastPPV, DiskGraphStore, DiskQueryResult
+from repro.storage.disk_engine import (
+    BatchDiskFastPPV,
+    DiskFastPPV,
+    DiskGraphStore,
+    DiskQueryResult,
+    DiskTopKResult,
+)
 from repro.storage.ppv_store import DiskPPVStore, load_index, save_index
 
 __all__ = [
@@ -26,5 +32,7 @@ __all__ = [
     "cluster_graph",
     "DiskGraphStore",
     "DiskFastPPV",
+    "BatchDiskFastPPV",
     "DiskQueryResult",
+    "DiskTopKResult",
 ]

@@ -11,6 +11,36 @@ little accuracy for much less I/O.
 
 Hub prime PPVs are fetched lazily from the on-disk
 :class:`~repro.storage.ppv_store.DiskPPVStore`, one random access each.
+
+Batched serving
+---------------
+:class:`BatchDiskFastPPV` serves a whole batch against the same stores
+while amortising the I/O that dominates scalar disk queries:
+
+* The prime-subgraph walks of all non-hub queries run as interleaved
+  :class:`_PrimePushRun` steps grouped **by cluster**: each scheduling
+  wave picks the cluster most queries need next and drains every such
+  query's pending mass while that one cluster is resident, so a cluster
+  is faulted in once per wave instead of once per query.  A run's
+  per-query schedule (heaviest pool first, FIFO within a cluster) is
+  fixed and residency-independent, so per-query scores are bitwise
+  identical to a solo :class:`DiskFastPPV` run.
+* Hub prime PPVs are fetched through a per-batch cache seeded by
+  :meth:`~repro.storage.ppv_store.DiskPPVStore.get_many` (offset-ordered
+  reads): each hub payload is read from disk once per batch, not once
+  per query that splices it.
+
+Per-query :class:`DiskQueryResult` accounting under batching is
+*deterministic scalar-equivalent* I/O: ``cluster_faults`` counts the
+query's drain steps — the faults a dedicated **one-cluster-budget**
+store would incur (the paper's Fig. 16 setting, and the currency the
+fault budget is charged in) — and ``hub_reads`` counts the hub fetches
+the query requested.  A scalar engine over a store with
+``memory_budget > 1`` can report fewer physical faults for the same
+query (LRU hits are free there); the batch numbers are intentionally
+budget-independent so experiments stay comparable.  The physical,
+amortised batch I/O is the delta of the stores' ``faults`` / ``reads``
+counters around the call.
 """
 
 from __future__ import annotations
@@ -21,9 +51,11 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.prime import PrimePPV
 from repro.core.query import (
     DEFAULT_DELTA,
     QueryResult,
@@ -31,6 +63,7 @@ from repro.core.query import (
     StopAfterIterations,
     StoppingCondition,
 )
+from repro.core.topk import StopWhenCertified, TopKResult, top_k_result
 from repro.graph.digraph import DiGraph
 from repro.storage.clustering import ClusterAssignment, cluster_graph
 from repro.storage.ppv_store import DiskPPVStore
@@ -157,20 +190,206 @@ class DiskGraphStore:
         """Out-neighbours of ``node``, swapping its cluster in if needed."""
         return self.out_edges(node)[0]
 
-    def _resident_cluster_hint(self) -> int:
-        """Most recently used cluster id, or -1 when the cache is cold.
 
-        The disk engine prefers draining the resident cluster first, so
-        exposing the MRU entry avoids an unnecessary swap.
+class _PrimePushRun:
+    """One query's cluster-draining prime push, advanced drain by drain.
+
+    The scalar engine's push, restructured so a scheduler can interleave
+    many runs: :meth:`next_cluster` resolves which cluster the next drain
+    step needs (I/O-free), :meth:`drain` performs that step through the
+    graph store.  The per-query schedule — heaviest pool first, FIFO
+    within a cluster — is fixed and independent of which cluster happens
+    to be memory-resident, so interleaving runs to share residency never
+    changes a query's mass flow: scores are bitwise identical to running
+    the query alone.
+
+    The fault budget is charged per *drain step* — exactly the faults a
+    dedicated one-cluster-budget store would incur — so truncation is
+    deterministic and identical between scalar and batched serving.
+    """
+
+    __slots__ = (
+        "graph_store",
+        "hub_mask",
+        "alpha",
+        "epsilon",
+        "fault_budget",
+        "scores",
+        "border",
+        "pools",
+        "drains",
+        "truncated",
+        "_pending",
+    )
+
+    def __init__(
+        self,
+        graph_store: DiskGraphStore,
+        source: int,
+        hub_mask: np.ndarray,
+        alpha: float,
+        epsilon: float,
+        fault_budget: int,
+    ) -> None:
+        self.graph_store = graph_store
+        self.hub_mask = hub_mask
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.fault_budget = fault_budget
+        self.scores = np.zeros(graph_store.num_nodes)
+        self.border: dict[int, float] = {}
+        # Pending *expansion* mass per cluster.  Scoring and border
+        # bookkeeping happen at insertion time and need no I/O — only the
+        # expansion of a node requires its cluster's adjacency, so pools
+        # whose every node sits below epsilon are dropped fault-free.
+        self.pools: dict[int, dict[int, float]] = {}
+        self.drains = 0
+        self.truncated = False
+        self._pending: tuple[int, dict[int, float]] | None = None
+        # The initial unit at the source always expands (a tour's start
+        # never counts towards hub length), even when the source is a hub.
+        self.scores[source] += alpha
+        self.pools[graph_store.cluster_of(source)] = {source: 1.0}
+
+    def next_cluster(self) -> int | None:
+        """Cluster the next drain step needs, or ``None`` when done.
+
+        Resolving is idempotent and performs no I/O: sub-threshold pools
+        are dropped (their mass is already scored), and the heaviest
+        remaining pool is staged until :meth:`drain` consumes it.
         """
-        if not self._cache:
-            return -1
-        return next(reversed(self._cache))
+        if self._pending is not None:
+            return self._pending[0]
+        while self.pools:
+            # Heaviest pool first: its export pattern settles fastest.
+            # (A resident-cluster preference would be vacuous: the only
+            # selection it could influence is the first, where the sole
+            # pool is the source's cluster.)
+            cluster = max(self.pools, key=lambda c: sum(self.pools[c].values()))
+            pending = self.pools.pop(cluster)
+            local = {
+                node: mass
+                for node, mass in pending.items()
+                if mass >= self.epsilon
+            }
+            if not local:
+                continue  # everything sub-threshold: already scored, no I/O
+            if self.drains >= self.fault_budget:
+                self.truncated = True
+                self.pools.clear()
+                return None
+            self._pending = (cluster, local)
+            return cluster
+        return None
+
+    def _deposit(self, node: int, mass: float) -> None:
+        self.scores[node] += self.alpha * mass
+        if self.hub_mask[node]:
+            self.border[node] = self.border.get(node, 0.0) + mass
+            return
+        cluster = self.graph_store.cluster_of(node)
+        pool = self.pools.setdefault(cluster, {})
+        pool[node] = pool.get(node, 0.0) + mass
+
+    def drain(self) -> None:
+        """Drain the staged cluster: propagate its resident residual to
+        exhaustion — intra-cluster mass bounces without I/O, exported
+        mass is deferred to other pools."""
+        cluster, local = self._pending  # type: ignore[misc]
+        self._pending = None
+        self.drains += 1
+        alpha, epsilon = self.alpha, self.epsilon
+        hub_mask, graph_store = self.hub_mask, self.graph_store
+        scores = self.scores
+        # FIFO order lets arriving shares aggregate before their node is
+        # expanded (LIFO would expand each share almost alone,
+        # multiplying the work by the cycle count).
+        queue = deque(local)
+        while queue:
+            node = queue.popleft()
+            mass = local.pop(node, 0.0)
+            if mass < epsilon:
+                continue  # sub-threshold remainder: already scored
+            neighbors, probabilities = graph_store.out_edges(node)
+            for target, probability in zip(neighbors, probabilities):
+                target = int(target)
+                share = (1.0 - alpha) * mass * probability
+                if not hub_mask[target] and graph_store.cluster_of(target) == cluster:
+                    # Keep intra-cluster mass local: score it now,
+                    # aggregate the pending expansion.
+                    scores[target] += alpha * share
+                    if target in local:
+                        local[target] += share
+                    else:
+                        local[target] = share
+                        queue.append(target)
+                else:
+                    self._deposit(target, share)
+
+
+def _splice_rounds(
+    estimate: np.ndarray,
+    frontier: dict[int, float],
+    stop: StoppingCondition,
+    alpha: float,
+    delta: float,
+    fetch: Callable[[int], PrimePPV],
+    started: float,
+) -> tuple[int, list[float], int, int]:
+    """Algorithm 2's incremental rounds against a hub-fetch function.
+
+    Shared by the scalar and batched disk engines; ``fetch`` is either a
+    direct :meth:`DiskPPVStore.get` (one physical read per call) or a
+    per-batch cache over it.  Returns ``(iterations, error_history,
+    hubs_expanded, requested_reads)`` where ``requested_reads`` counts
+    fetch calls — the scalar-equivalent read cost.
+    """
+    error_history = [1.0 - float(estimate.sum())]
+    hubs_expanded = 0
+    iteration = 0
+    requested_reads = 0
+    while frontier and iteration < 64:
+        state = QueryState(
+            iteration=iteration,
+            l1_error=error_history[-1],
+            elapsed_seconds=time.perf_counter() - started,
+            frontier_size=len(frontier),
+            scores=estimate,
+        )
+        if stop.should_stop(state):
+            break
+        iteration += 1
+        next_frontier: dict[int, float] = {}
+        for hub, mass in frontier.items():
+            if alpha * mass <= delta:
+                continue
+            entry = fetch(hub)
+            requested_reads += 1
+            estimate[entry.nodes] += mass * entry.scores
+            estimate[hub] -= alpha * mass  # trivial-tour correction
+            hubs_expanded += 1
+            for border, border_mass in zip(
+                entry.border_hubs.tolist(), entry.border_masses.tolist()
+            ):
+                next_frontier[border] = (
+                    next_frontier.get(border, 0.0) + mass * border_mass
+                )
+        frontier = next_frontier
+        error_history.append(1.0 - float(estimate.sum()))
+    return iteration, error_history, hubs_expanded, requested_reads
 
 
 @dataclass
 class DiskQueryResult:
-    """A :class:`QueryResult` plus the I/O accounting of Fig. 16."""
+    """A :class:`QueryResult` plus the I/O accounting of Fig. 16.
+
+    Under :class:`BatchDiskFastPPV`, ``cluster_faults`` and ``hub_reads``
+    report deterministic scalar-equivalent I/O: the faults a dedicated
+    *one-cluster-budget* store would have paid (= the push's drain
+    steps) and the hub fetches the query requested — independent of the
+    batch store's ``memory_budget``.  The physical amortised batch I/O
+    is the delta of the stores' counters around the batch call.
+    """
 
     result: QueryResult
     cluster_faults: int
@@ -220,6 +439,7 @@ class DiskFastPPV:
         self.fault_budget = (
             fault_budget if fault_budget is not None else graph_store.num_clusters
         )
+        self._batch_engine: "BatchDiskFastPPV | None" = None
 
     # ------------------------------------------------------------------ #
 
@@ -235,87 +455,23 @@ class DiskFastPPV:
         exhaustion — intra-cluster mass bounces without I/O — and only the
         mass exported to other clusters is deferred.  This mirrors the
         paper's DFS-within-cluster search and keeps faults near the number
-        of distinct clusters the prime subgraph overlaps.
+        of distinct clusters the prime subgraph overlaps.  The kernel
+        lives in :class:`_PrimePushRun`, shared with the batched engine.
 
         Returns ``(dense scores, border arrival masses, truncated)`` where
         ``truncated`` reports whether the fault budget cut the search.
         """
-        alpha = self.ppv_store.alpha
-        epsilon = self.ppv_store.epsilon
-        hub_mask = self.ppv_store.hub_mask
-        n = self.graph_store.num_nodes
-        scores = np.zeros(n)
-        border: dict[int, float] = {}
-        # Pending *expansion* mass per cluster.  Scoring and border
-        # bookkeeping happen at insertion time and need no I/O — only the
-        # expansion of a node requires its cluster's adjacency, so pools
-        # whose every node sits below epsilon are dropped fault-free.
-        pools: dict[int, dict[int, float]] = {}
-
-        def deposit(node: int, mass: float) -> None:
-            scores[node] += alpha * mass
-            if hub_mask[node]:
-                border[node] = border.get(node, 0.0) + mass
-                return
-            cluster = self.graph_store.cluster_of(node)
-            pool = pools.setdefault(cluster, {})
-            pool[node] = pool.get(node, 0.0) + mass
-
-        # The initial unit at the source always expands (a tour's start
-        # never counts towards hub length), even when the source is a hub.
-        scores[source] += alpha
-        source_cluster = self.graph_store.cluster_of(source)
-        pools[source_cluster] = {source: 1.0}
-
-        start_faults = self.graph_store.faults
-        truncated = False
-        while pools:
-            # Prefer the resident cluster; otherwise drain the heaviest
-            # pool (its export pattern settles fastest).
-            resident = self.graph_store._resident_cluster_hint()
-            if resident in pools and any(
-                m >= epsilon for m in pools[resident].values()
-            ):
-                cluster = resident
-            else:
-                cluster = max(pools, key=lambda c: sum(pools[c].values()))
-            pending = pools.pop(cluster)
-            local = {
-                node: mass for node, mass in pending.items() if mass >= epsilon
-            }
-            if not local:
-                continue  # everything sub-threshold: already scored, no I/O
-            if self.graph_store.faults - start_faults >= self.fault_budget:
-                truncated = True
-                break
-            # FIFO order lets arriving shares aggregate before their node
-            # is expanded (LIFO would expand each share almost alone,
-            # multiplying the work by the cycle count).
-            queue = deque(local)
-            while queue:
-                node = queue.popleft()
-                mass = local.pop(node, 0.0)
-                if mass < epsilon:
-                    continue  # sub-threshold remainder: already scored
-                neighbors, probabilities = self.graph_store.out_edges(node)
-                for target, probability in zip(neighbors, probabilities):
-                    target = int(target)
-                    share = (1.0 - alpha) * mass * probability
-                    if (
-                        not hub_mask[target]
-                        and self.graph_store.cluster_of(target) == cluster
-                    ):
-                        # Keep intra-cluster mass local: score it now,
-                        # aggregate the pending expansion.
-                        scores[target] += alpha * share
-                        if target in local:
-                            local[target] += share
-                        else:
-                            local[target] = share
-                            queue.append(target)
-                    else:
-                        deposit(target, share)
-        return scores, border, truncated
+        run = _PrimePushRun(
+            self.graph_store,
+            source,
+            self.ppv_store.hub_mask,
+            self.ppv_store.alpha,
+            self.ppv_store.epsilon,
+            self.fault_budget,
+        )
+        while run.next_cluster() is not None:
+            run.drain()
+        return run.scores, run.border, run.truncated
 
     def query(
         self,
@@ -327,14 +483,14 @@ class DiskFastPPV:
             raise ValueError(f"query node {query} out of range")
         if stop is None:
             stop = StopAfterIterations(2)
-        alpha = self.ppv_store.alpha
         started = time.perf_counter()
         faults_before = self.graph_store.faults
-        reads_before = self.ppv_store.reads
 
         truncated = False
+        hub_reads = 0
         if query in self.ppv_store:
             entry = self.ppv_store.get(query)
+            hub_reads += 1
             estimate = entry.to_dense(self.graph_store.num_nodes)
             frontier = dict(
                 zip(entry.border_hubs.tolist(), entry.border_masses.tolist())
@@ -342,36 +498,15 @@ class DiskFastPPV:
         else:
             estimate, frontier, truncated = self._prime_push_on_disk(query)
 
-        error_history = [1.0 - float(estimate.sum())]
-        hubs_expanded = 0
-        iteration = 0
-        while frontier and iteration < 64:
-            state_error = error_history[-1]
-            state = QueryState(
-                iteration=iteration,
-                l1_error=state_error,
-                elapsed_seconds=time.perf_counter() - started,
-                frontier_size=len(frontier),
-            )
-            if stop.should_stop(state):
-                break
-            iteration += 1
-            next_frontier: dict[int, float] = {}
-            for hub, mass in frontier.items():
-                if alpha * mass <= self.delta:
-                    continue
-                entry = self.ppv_store.get(hub)
-                estimate[entry.nodes] += mass * entry.scores
-                estimate[hub] -= alpha * mass  # trivial-tour correction
-                hubs_expanded += 1
-                for border, border_mass in zip(
-                    entry.border_hubs.tolist(), entry.border_masses.tolist()
-                ):
-                    next_frontier[border] = (
-                        next_frontier.get(border, 0.0) + mass * border_mass
-                    )
-            frontier = next_frontier
-            error_history.append(1.0 - float(estimate.sum()))
+        iteration, error_history, hubs_expanded, requested = _splice_rounds(
+            estimate,
+            frontier,
+            stop,
+            self.ppv_store.alpha,
+            self.delta,
+            self.ppv_store.get,
+            started,
+        )
 
         result = QueryResult(
             query=query,
@@ -384,6 +519,218 @@ class DiskFastPPV:
         return DiskQueryResult(
             result=result,
             cluster_faults=self.graph_store.faults - faults_before,
-            hub_reads=self.ppv_store.reads - reads_before,
+            hub_reads=hub_reads + requested,
             truncated=truncated,
         )
+
+    @property
+    def batch_engine(self) -> "BatchDiskFastPPV":
+        """The :class:`BatchDiskFastPPV` twin of this engine (lazy)."""
+        if self._batch_engine is None:
+            self._batch_engine = BatchDiskFastPPV(
+                self.graph_store,
+                self.ppv_store,
+                delta=self.delta,
+                fault_budget=self.fault_budget,
+            )
+        return self._batch_engine
+
+    def query_many(
+        self,
+        queries: Sequence[int],
+        stop: StoppingCondition | None = None,
+    ) -> list[DiskQueryResult]:
+        """Serve a workload through :class:`BatchDiskFastPPV`."""
+        return self.batch_engine.query_many(queries, stop=stop)
+
+
+@dataclass
+class DiskTopKResult:
+    """A :class:`~repro.core.topk.TopKResult` plus disk I/O accounting."""
+
+    topk: TopKResult
+    cluster_faults: int
+    hub_reads: int
+    truncated: bool
+
+
+class BatchDiskFastPPV:
+    """Batched FastPPV serving against disk-resident graph and index.
+
+    Amortises the two I/O costs of :class:`DiskFastPPV` across a batch
+    (see the module docstring): cluster faults via cluster-grouped prime
+    pushes, hub payload reads via a per-batch fetch cache.  Per-query
+    results are bitwise identical to scalar :meth:`DiskFastPPV.query`
+    calls with the same parameters.
+
+    Parameters mirror :class:`DiskFastPPV`.
+    """
+
+    def __init__(
+        self,
+        graph_store: DiskGraphStore,
+        ppv_store: DiskPPVStore,
+        delta: float = DEFAULT_DELTA,
+        fault_budget: int | None = None,
+    ) -> None:
+        if graph_store.num_nodes != ppv_store.num_nodes:
+            raise ValueError("graph store and PPV store disagree on node count")
+        self.graph_store = graph_store
+        self.ppv_store = ppv_store
+        self.delta = delta
+        self.fault_budget = (
+            fault_budget if fault_budget is not None else graph_store.num_clusters
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _grouped_pushes(self, ids: list[int]) -> dict[int, _PrimePushRun]:
+        """Run the prime pushes of all unique non-hub queries, grouped by
+        cluster: every scheduling wave picks the cluster most runs need
+        next and drains all of them while it is resident, so the batch
+        faults each cluster in once per wave instead of once per query."""
+        runs: dict[int, _PrimePushRun] = {}
+        for q in ids:
+            if q not in self.ppv_store and q not in runs:
+                runs[q] = _PrimePushRun(
+                    self.graph_store,
+                    q,
+                    self.ppv_store.hub_mask,
+                    self.ppv_store.alpha,
+                    self.ppv_store.epsilon,
+                    self.fault_budget,
+                )
+        active = dict(runs)
+        while active:
+            needs: dict[int, list[int]] = {}
+            for q in list(active):
+                cluster = active[q].next_cluster()
+                if cluster is None:
+                    del active[q]  # finished (or truncated by its budget)
+                else:
+                    needs.setdefault(cluster, []).append(q)
+            if not needs:
+                break
+            # Most-demanded cluster first (ties: smallest cluster id).
+            chosen = max(needs, key=lambda c: (len(needs[c]), -c))
+            for q in needs[chosen]:
+                active[q].drain()
+        return runs
+
+    def query_many(
+        self,
+        queries: Sequence[int],
+        stop: StoppingCondition | None = None,
+    ) -> list[DiskQueryResult]:
+        """Estimate the PPVs of ``queries`` from disk, preserving order.
+
+        Scores, iteration counts and truncation flags are identical to
+        calling :meth:`DiskFastPPV.query` per element; only the physical
+        I/O schedule differs.  Per-query ``cluster_faults`` equals the
+        scalar engine's over a ``memory_budget=1`` store (see the module
+        docstring — a larger-budget scalar store can report fewer
+        physical faults for the same work).  Duplicated query ids share
+        one prime push.  ``stop`` is evaluated per query exactly as in
+        the scalar engine (it sees per-query state, including
+        ``scores``, so certificate conditions work here too).
+        """
+        ids = [int(q) for q in queries]
+        for q in ids:
+            if not 0 <= q < self.graph_store.num_nodes:
+                raise ValueError(f"query node {q} out of range")
+        if stop is None:
+            stop = StopAfterIterations(2)
+        started = time.perf_counter()
+        alpha = self.ppv_store.alpha
+
+        runs = self._grouped_pushes(ids)
+
+        # Per-batch hub fetch cache: one physical (offset-ordered) read
+        # per unique hub, however many queries splice it.
+        fetched: dict[int, PrimePPV] = {}
+
+        def fetch(hub: int) -> PrimePPV:
+            entry = fetched.get(hub)
+            if entry is None:
+                entry = self.ppv_store.get(hub)
+                fetched[hub] = entry
+            return entry
+
+        wanted: set[int] = set()
+        for q in set(ids):
+            if q in self.ppv_store:
+                wanted.add(q)
+        for run in runs.values():
+            for hub, mass in run.border.items():
+                if alpha * mass > self.delta:
+                    wanted.add(hub)
+        fetched.update(self.ppv_store.get_many(wanted))
+
+        results: list[DiskQueryResult] = []
+        for q in ids:
+            hub_reads = 0
+            if q in self.ppv_store:
+                entry = fetch(q)
+                hub_reads += 1
+                estimate = entry.to_dense(self.graph_store.num_nodes)
+                frontier = dict(
+                    zip(entry.border_hubs.tolist(), entry.border_masses.tolist())
+                )
+                cluster_faults = 0
+                truncated = False
+            else:
+                run = runs[q]
+                # Copy: duplicates share the run, and the splice rounds
+                # mutate the estimate in place.
+                estimate = run.scores.copy()
+                frontier = dict(run.border)
+                cluster_faults = run.drains
+                truncated = run.truncated
+            iteration, error_history, hubs_expanded, requested = _splice_rounds(
+                estimate, frontier, stop, alpha, self.delta, fetch, started
+            )
+            results.append(
+                DiskQueryResult(
+                    result=QueryResult(
+                        query=q,
+                        scores=estimate,
+                        iterations=iteration,
+                        error_history=error_history,
+                        hubs_expanded=hubs_expanded,
+                        seconds=time.perf_counter() - started,
+                    ),
+                    cluster_faults=cluster_faults,
+                    hub_reads=hub_reads + requested,
+                    truncated=truncated,
+                )
+            )
+        return results
+
+    def query_top_k_many(
+        self,
+        queries: Sequence[int],
+        k: int = 10,
+        max_iterations: int = 32,
+    ) -> list[DiskTopKResult]:
+        """Certified top-k for a batch of disk queries, preserving order.
+
+        Each query iterates until its top-k certificate (the phi-gap rule
+        of :mod:`repro.core.topk`) fires or ``max_iterations`` is spent,
+        with the batch's cluster faults and hub reads amortised as in
+        :meth:`query_many`.  As with the in-memory engines, build with
+        ``delta = 0`` for a formally sound certificate; a truncated prime
+        push stays sound because its missing mass is part of the Eq. 6
+        error the certificate already budgets for.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        stop = StopWhenCertified(k=k, max_iterations=max_iterations)
+        return [
+            DiskTopKResult(
+                topk=top_k_result(r.result, k),
+                cluster_faults=r.cluster_faults,
+                hub_reads=r.hub_reads,
+                truncated=r.truncated,
+            )
+            for r in self.query_many(queries, stop=stop)
+        ]

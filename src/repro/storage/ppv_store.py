@@ -144,6 +144,19 @@ class DiskPPVStore:
             border_masses=border_masses.astype(np.float64),
         )
 
+    def get_many(self, hubs) -> "dict[int, PrimePPV]":
+        """Fetch several hubs' prime PPVs, one read per *unique* hub.
+
+        Reads are issued in file-offset order, so a batch prefetch
+        degrades into one forward sweep over the payload region instead
+        of the random seek per hub per query that scalar serving pays.
+        ``reads`` increases once per unique hub.
+        """
+        unique = sorted(
+            {int(hub) for hub in hubs}, key=lambda hub: self._directory[hub][0]
+        )
+        return {hub: self.get(hub) for hub in unique}
+
 
 def load_index(path: str | os.PathLike[str]) -> PPVIndex:
     """Eagerly load a saved index back into a :class:`PPVIndex`."""

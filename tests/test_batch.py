@@ -376,6 +376,101 @@ class TestCache:
         assert 16 <= batch.chunk_size <= 512
 
 
+class TestCacheEdgeCases:
+    """LRU mechanics: eviction order, invalidation, and stop-keyed entries."""
+
+    def _keys(self, batch):
+        return [key[0] for key in batch._cache]
+
+    def test_eviction_is_least_recently_used(self, small_social,
+                                             small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=3)
+        stop = StopAfterIterations(1)
+        batch.query_many([1, 2, 3], stop=stop)
+        assert self._keys(batch) == [1, 2, 3]
+        # A cache *hit* must refresh recency, making 2 the eviction victim.
+        batch.query_many([1], stop=stop)
+        assert self._keys(batch) == [2, 3, 1]
+        batch.query_many([4], stop=stop)
+        assert self._keys(batch) == [3, 1, 4]
+        assert (2, stop) not in batch._cache
+
+    def test_put_of_existing_key_refreshes_recency(self, small_social,
+                                                   small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=2)
+        stop = StopAfterIterations(1)
+        batch.query_many([1, 2], stop=stop)
+        # Bypassing the lookup (callback) recomputes and re-puts key 1.
+        batch.query_many([1], stop=stop, on_iteration=lambda p, s: None)
+        batch.query_many([3], stop=stop)
+        assert self._keys(batch) == [1, 3]
+
+    def test_rebuild_invalidation_then_repopulation(self, small_social,
+                                                    small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=4)
+        stop = StopAfterIterations(2)
+        (stale,) = batch.query_many([5], stop=stop)
+        invalidate_splice_cache(small_social_index)
+        # First batch after the rebuild repopulates against the new
+        # lowering; the result is equivalent (the index content did not
+        # change) but must have been recomputed, not served stale.
+        (fresh,) = batch.query_many([5], stop=stop)
+        np.testing.assert_allclose(fresh.scores, stale.scores, atol=1e-12)
+        assert len(batch._cache) == 1
+        (hit,) = batch.query_many([5], stop=stop)
+        np.testing.assert_array_equal(hit.scores, fresh.scores)
+
+    def test_same_query_different_stops_distinct_entries(self, small_social,
+                                                         small_social_index):
+        from repro import StopWhenCertified
+
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8,
+                             delta=0.0)
+        stops = [
+            StopAfterIterations(1),
+            StopAfterIterations(2),
+            StopAtL1Error(0.05),
+            any_of(StopAfterIterations(3), StopAtL1Error(0.01)),
+            StopWhenCertified(k=3, max_iterations=20),
+            StopWhenCertified(k=3, max_iterations=30),
+            StopWhenCertified(k=4, max_iterations=30),
+        ]
+        for stop in stops:
+            batch.query_many([5], stop=stop)
+        assert len(batch._cache) == len(stops)
+        # Otherwise-identical queries with different stopping conditions
+        # must not cross-serve: eta=1 and eta=2 differ in iterations.
+        (eta1,) = batch.query_many([5], stop=StopAfterIterations(1))
+        (eta2,) = batch.query_many([5], stop=StopAfterIterations(2))
+        assert eta1.iterations == 1
+        assert eta2.iterations == 2
+
+    def test_equal_valued_stop_instances_share_entry(self, small_social,
+                                                     small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=8)
+        batch.query_many([5], stop=StopAfterIterations(2))
+        batch.query_many([5], stop=StopAfterIterations(2))  # fresh instance
+        batch.query_many(
+            [5], stop=any_of(StopAfterIterations(3), StopAtL1Error(0.01))
+        )
+        batch.query_many(
+            [5], stop=any_of(StopAfterIterations(3), StopAtL1Error(0.01))
+        )
+        assert len(batch._cache) == 2
+
+    def test_hits_do_not_leak_shared_buffers(self, small_social,
+                                             small_social_index):
+        batch = BatchFastPPV(small_social, small_social_index, cache_size=4)
+        stop = StopAfterIterations(1)
+        (first,) = batch.query_many([5], stop=stop)
+        (second,) = batch.query_many([5], stop=stop)
+        # Two hits must hand out independent arrays.
+        second.scores[0] = -5.0
+        (third,) = batch.query_many([5], stop=stop)
+        assert third.scores[0] == first.scores[0]
+        assert third.error_history is not first.error_history
+
+
 class TestCallbackContract:
     def test_invocation_counts(self, small_social, small_social_index):
         batch = BatchFastPPV(small_social, small_social_index, delta=1e-4)

@@ -111,6 +111,94 @@ class TestQuery:
         assert "error" in capsys.readouterr().err
 
 
+class TestTopKQuery:
+    def test_single_query_certifies(self, graph_file, index_file, capsys):
+        code = main(
+            ["query", str(graph_file), str(index_file), "7", "--top-k", "5",
+             "--delta", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out
+        ranked = [line for line in out.splitlines() if ". node" in line]
+        assert len(ranked) == 5
+
+    def test_batched_top_k(self, graph_file, index_file, capsys):
+        code = main(
+            ["query", str(graph_file), str(index_file), "7", "9", "11",
+             "--top-k", "4", "--delta", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("top-4") == 3
+
+    def test_eta_becomes_certificate_budget(self, graph_file, index_file,
+                                            capsys):
+        # eta=0 forbids incremental iterations: the result is whatever
+        # iteration 0 gives, reported as certified or not.
+        code = main(
+            ["query", str(graph_file), str(index_file), "7",
+             "--top-k", "5", "--eta", "0", "--delta", "0"]
+        )
+        assert code == 0
+        assert "0 iterations" in capsys.readouterr().out
+
+    def test_incompatible_with_time_limit(self, graph_file, index_file,
+                                          capsys):
+        code = main(
+            ["query", str(graph_file), str(index_file), "7",
+             "--top-k", "5", "--time-limit", "1.0"]
+        )
+        assert code == 2
+        assert "top-k" in capsys.readouterr().err
+
+    def test_clipped_index_hint(self, graph_file, index_file, capsys):
+        # The default index clips stored entries, flooring the reachable
+        # error: when nothing certifies the CLI must say why.
+        code = main(
+            ["query", str(graph_file), str(index_file), "7",
+             "--top-k", "3", "--delta", "0", "--eta", "0"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        if "UNCERTIFIED" in captured.out:
+            assert "--clip 0" in captured.err
+
+
+class TestDiskQuery:
+    def test_single_query(self, graph_file, index_file, tmp_path, capsys):
+        code = main(
+            ["disk-query", str(graph_file), str(index_file), "7",
+             "--clusters", "4", "--workdir", str(tmp_path / "c1")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query 7" in out
+        assert "faults" in out
+        assert "physical I/O for 1 queries" in out
+
+    def test_batched_queries_report_physical_io(self, graph_file, index_file,
+                                                tmp_path, capsys):
+        code = main(
+            ["disk-query", str(graph_file), str(index_file), "7", "9", "11",
+             "--clusters", "4", "--workdir", str(tmp_path / "c2")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("hub reads") >= 3
+        assert "physical I/O for 3 queries" in out
+
+    def test_mismatched_index_fails(self, index_file, tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        main(["generate", "social", "--nodes", "100", "--out", str(other)])
+        code = main(
+            ["disk-query", str(other), str(index_file), "3",
+             "--workdir", str(tmp_path / "c3")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestAutotune:
     def test_recommends(self, graph_file, capsys):
         code = main(["autotune", str(graph_file), "--queries", "5"])

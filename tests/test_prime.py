@@ -140,6 +140,46 @@ class TestPrimeSubgraphNodes:
         assert {A, B, C, D, F, H} == nodes
 
 
+class TestSingleSourceLockstep:
+    """prime_ppv is a wrapper over prime_push_many: the lockstep between
+    the scalar and batched kernels is structural, pinned bit-for-bit."""
+
+    def _assert_bitwise_row(self, graph, source, hub_mask, **kwargs):
+        from repro.core.prime import prime_push_many
+
+        single = prime_ppv(graph, source, hub_mask, **kwargs)
+        scores, border, edges = prime_push_many(
+            graph, np.array([source]), hub_mask, **kwargs
+        )
+        # Exact equality, not allclose: one kernel, one summation order.
+        np.testing.assert_array_equal(
+            single.to_dense(graph.num_nodes), scores[0]
+        )
+        dense_border = np.zeros(graph.num_nodes)
+        dense_border[single.border_hubs] = single.border_masses
+        np.testing.assert_array_equal(dense_border, border[0])
+        assert single.edges_touched == int(edges[0])
+
+    def test_fig1_sources_bitwise(self, fig1_graph, fig1_hub_mask):
+        for source in (A, D, E, H):
+            self._assert_bitwise_row(
+                fig1_graph, source, fig1_hub_mask, alpha=ALPHA, epsilon=1e-12
+            )
+
+    def test_social_graph_bitwise(self, small_social, small_social_index):
+        for source in (0, 57, 200, int(small_social_index.hubs[0])):
+            self._assert_bitwise_row(
+                small_social, source, small_social_index.hub_mask
+            )
+
+    def test_sparse_support_matches_dense_row(self, small_social,
+                                              small_social_index):
+        result = prime_ppv(small_social, 3, small_social_index.hub_mask)
+        assert np.all(result.scores > 0.0)
+        assert np.all(np.diff(result.nodes) > 0)
+        assert np.all(np.diff(result.border_hubs) > 0)
+
+
 class TestWorkAccounting:
     def test_edges_touched_positive(self, fig1_graph, fig1_hub_mask):
         result = prime_ppv(fig1_graph, A, fig1_hub_mask, alpha=ALPHA)
