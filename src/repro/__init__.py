@@ -55,8 +55,9 @@ from repro.graph import (
     social_graph,
     write_edge_list,
 )
+from repro.serving import PPVService, QueryHandle, QuerySnapshot, QuerySpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -92,4 +93,9 @@ __all__ = [
     "TopKResult",
     "autotune_hub_count",
     "from_weighted_edges",
+    # serving
+    "PPVService",
+    "QuerySpec",
+    "QueryHandle",
+    "QuerySnapshot",
 ]

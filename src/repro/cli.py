@@ -2,23 +2,28 @@
 
 The subcommands cover the offline/online lifecycle end to end::
 
-    repro-fastppv generate social --nodes 5000 --out graph.txt
-    repro-fastppv info graph.txt
-    repro-fastppv index graph.txt --hubs 300 --workers 4 --out graph.fppv
-    repro-fastppv query graph.txt graph.fppv 42 --top 10 --eta 2
-    repro-fastppv query graph.txt graph.fppv 42 7 19 --batch
-    repro-fastppv query graph.txt graph.fppv 42 7 19 --top-k 10
-    repro-fastppv disk-query graph.txt graph.fppv 42 7 19 --clusters 12
-    repro-fastppv autotune graph.txt
+    repro generate social --nodes 5000 --out graph.txt
+    repro info graph.txt
+    repro index graph.txt --hubs 300 --workers 4 --out graph.fppv
+    repro query graph.txt graph.fppv 42 --top 10 --eta 2
+    repro query graph.txt graph.fppv 42 7 19
+    repro query graph.txt graph.fppv 42 7 19 --top-k 10
+    repro disk-query graph.txt graph.fppv 42 7 19 --clusters 12
+    repro serve graph.txt graph.fppv --requests requests.jsonl
+    repro autotune graph.txt
 
-``index --workers N`` parallelises the offline build; giving ``query``
-several nodes (or ``--batch``) routes them through the batched
-sparse-matrix engine of :mod:`repro.core.batch`.  ``query --top-k K``
-switches to certified top-k serving: each query runs until its top set
-is provably exact.  ``disk-query`` replays the Sect. 5.3 reduced-memory
-deployment (cluster-segmented graph, on-disk PPV index) and reports the
-cluster faults and hub reads every query paid; batches amortise that I/O
-through :class:`~repro.storage.disk_engine.BatchDiskFastPPV`.
+All online subcommands run through the :class:`~repro.serving.PPVService`
+façade: ``query`` and ``disk-query`` submit their nodes as one burst (so
+multi-node invocations coalesce into the batched sparse-matrix / cluster
+-grouped disk engines automatically), and ``serve`` keeps a service open
+over a JSONL request loop — each input line is a request (single- or
+multi-node, plain or certified top-k), responses are emitted as JSONL in
+request order at every blank line or at end of input, and concurrent
+batches share the scheduler's coalescing and popularity cache.  ``query
+--top-k K`` switches to certified top-k serving: each query runs until
+its top set is provably exact.  ``disk-query`` replays the Sect. 5.3
+reduced-memory deployment (cluster-segmented graph, on-disk PPV index)
+and reports the cluster faults and hub reads every query paid.
 
 Graphs travel as whitespace edge lists (the SNAP convention), indexes as
 the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
@@ -27,6 +32,7 @@ the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import sys
 import tempfile
@@ -36,20 +42,17 @@ from repro.core.autotune import autotune_hub_count
 from repro.core.hubs import HubPolicy, select_hubs
 from repro.core.index import build_index
 from repro.core.query import (
-    FastPPV,
     StopAfterIterations,
     StopAfterTime,
     StopAtL1Error,
     any_of,
 )
-from repro.core.topk import query_top_k
 from repro.graph.analysis import graph_stats
 from repro.graph.generators import bibliographic_graph, erdos_renyi_graph, social_graph
 from repro.graph.io import read_edge_list, write_edge_list
+from repro.serving import PPVService, QuerySpec
+from repro.serving.spec import DEFAULT_TOPK_BUDGET
 from repro.storage.ppv_store import load_index, save_index
-
-DEFAULT_TOPK_BUDGET = 32
-"""Certificate iteration budget when ``--eta`` is not given explicitly."""
 
 
 def _add_generate(subparsers) -> None:
@@ -148,9 +151,9 @@ def _add_query(subparsers) -> None:
     parser.add_argument("node", type=int, nargs="+")
     parser.add_argument(
         "--batch", action="store_true",
-        help="run all nodes through the batched engine (automatic when "
-        "more than one node is given; with --time-limit, queries run "
-        "one at a time so each keeps its own time budget)",
+        help="legacy no-op: the serving facade coalesces all given nodes "
+        "into engine batches automatically (with --time-limit, queries "
+        "still run one at a time so each keeps its own time budget)",
     )
     parser.add_argument("--top", type=int, default=10)
     parser.add_argument(
@@ -197,21 +200,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    engine = FastPPV(graph, index, delta=args.delta)
-    batched = args.batch or len(args.node) > 1
+    service = PPVService.open(index, graph=graph, delta=args.delta)
 
     if args.top_k is not None:
         budget = args.eta if args.eta is not None else DEFAULT_TOPK_BUDGET
-        if batched:
-            results = engine.query_many(
-                args.node, top_k=args.top_k, top_k_max_iterations=budget
+        with service:
+            results = service.query_many(
+                [
+                    QuerySpec(node, top_k=args.top_k, top_k_budget=budget)
+                    for node in args.node
+                ]
             )
-        else:
-            results = [
-                query_top_k(
-                    engine, args.node[0], k=args.top_k, max_iterations=budget
-                )
-            ]
         for query, result in zip(args.node, results):
             status = "certified" if result.certified else "UNCERTIFIED"
             print(
@@ -240,10 +239,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.time_limit is not None:
         conditions.append(StopAfterTime(args.time_limit))
     stop = any_of(*conditions)
-    if batched:
-        results = engine.query_many(args.node, stop=stop)
-    else:
-        results = [engine.query(args.node[0], stop=stop)]
+    with service:
+        results = service.query_many(
+            [QuerySpec(node, stop=stop) for node in args.node]
+        )
     for result in results:
         print(
             f"query {result.query}: {result.iterations} iterations, "
@@ -266,8 +265,9 @@ def _add_disk_query(subparsers) -> None:
     parser.add_argument("node", type=int, nargs="+")
     parser.add_argument(
         "--batch", action="store_true",
-        help="serve all nodes as one batch, amortising cluster faults and "
-        "hub reads (automatic when more than one node is given)",
+        help="legacy no-op: the serving facade coalesces all given nodes "
+        "into one cluster-grouped batch, amortising cluster faults and "
+        "hub reads",
     )
     parser.add_argument(
         "--clusters", type=int, default=8,
@@ -294,13 +294,7 @@ def _add_disk_query(subparsers) -> None:
 
 
 def _cmd_disk_query(args: argparse.Namespace) -> int:
-    from repro.storage import (
-        BatchDiskFastPPV,
-        DiskFastPPV,
-        DiskGraphStore,
-        DiskPPVStore,
-        cluster_graph,
-    )
+    from repro.storage import DiskGraphStore, DiskPPVStore, cluster_graph
 
     graph = read_edge_list(args.graph, undirected=args.undirected)
     # Validate the graph/index pair before paying for clustering and the
@@ -327,18 +321,16 @@ def _cmd_disk_query(args: argparse.Namespace) -> int:
             stop = StopAfterIterations(args.eta)
             faults_before = graph_store.faults
             reads_before = ppv_store.reads
-            if args.batch or len(args.node) > 1:
-                engine = BatchDiskFastPPV(
-                    graph_store, ppv_store, delta=args.delta,
-                    fault_budget=args.fault_budget,
+            with PPVService.open(
+                ppv_store,
+                backend="disk",
+                graph_store=graph_store,
+                delta=args.delta,
+                fault_budget=args.fault_budget,
+            ) as service:
+                results = service.query_many(
+                    [QuerySpec(node, stop=stop) for node in args.node]
                 )
-                results = engine.query_many(args.node, stop=stop)
-            else:
-                engine = DiskFastPPV(
-                    graph_store, ppv_store, delta=args.delta,
-                    fault_budget=args.fault_budget,
-                )
-                results = [engine.query(args.node[0], stop=stop)]
             physical_faults = graph_store.faults - faults_before
             physical_reads = ppv_store.reads - reads_before
     finally:
@@ -363,6 +355,215 @@ def _cmd_disk_query(args: argparse.Namespace) -> int:
         f"({assignment.num_clusters} clusters, memory budget "
         f"{args.memory_budget})"
     )
+    return 0
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="serve a JSONL request loop through the PPVService facade",
+        description="Read JSONL requests (one object per line) and write "
+        "JSONL responses in request order.  A request names a node "
+        '({"id": 1, "node": 7}) or a weighted node set ({"nodes": [3, 9], '
+        '"weights": [2, 1]}) plus optional "eta", "target_error", '
+        '"time_limit", "top_k", "budget" and "top".  Requests are '
+        "admitted as they are read and coalesced by the scheduler; "
+        "responses for the pending batch are emitted at every blank "
+        "line and at end of input.",
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("index", help=".fppv index path")
+    parser.add_argument(
+        "--requests", default="-",
+        help="JSONL request file, '-' for stdin (the default)",
+    )
+    parser.add_argument(
+        "--backend", choices=["memory", "disk"], default="memory",
+        help="serving backend (disk replays the Sect. 5.3 deployment)",
+    )
+    parser.add_argument("--top", type=int, default=10,
+                        help='ranked scores per response (a request\'s own '
+                        '"top" field overrides this)')
+    parser.add_argument("--delta", type=float, default=0.005)
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="requests coalesced into one scheduler drain",
+    )
+    parser.add_argument(
+        "--max-delay", type=float, default=0.002,
+        help="seconds a drain holds its batch open for more arrivals",
+    )
+    parser.add_argument(
+        "--clusters", type=int, default=8,
+        help="disk backend: number of PPR clusters",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=1,
+        help="disk backend: clusters resident in memory at once",
+    )
+    parser.add_argument(
+        "--fault-budget", type=int, default=None,
+        help="disk backend: per-query cluster-fault budget",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="clustering seed")
+    parser.add_argument(
+        "--workdir", default=None,
+        help="disk backend: directory for cluster files (default: temp)",
+    )
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_serve)
+
+
+def _spec_from_request(request: dict) -> QuerySpec:
+    """Translate one JSONL request object into a :class:`QuerySpec`."""
+    nodes = request.get("nodes", request.get("node"))
+    if nodes is None:
+        raise ValueError('request needs "node" or "nodes"')
+    weights = request.get("weights")
+    if request.get("top_k") is not None:
+        return QuerySpec(
+            nodes,
+            weights=weights,
+            top_k=int(request["top_k"]),
+            top_k_budget=int(request.get("budget", DEFAULT_TOPK_BUDGET)),
+        )
+    conditions = [StopAfterIterations(int(request.get("eta", 2)))]
+    if request.get("target_error") is not None:
+        conditions.append(StopAtL1Error(float(request["target_error"])))
+    if request.get("time_limit") is not None:
+        conditions.append(StopAfterTime(float(request["time_limit"])))
+    stop = conditions[0] if len(conditions) == 1 else any_of(*conditions)
+    return QuerySpec(nodes, weights=weights, stop=stop)
+
+
+def _render_response(request_id, spec, result, top: int) -> dict:
+    """One JSONL response object for any backend's result shape."""
+    response: dict = {"id": request_id, "nodes": list(spec.nodes)}
+    inner = result
+    if hasattr(result, "cluster_faults"):  # disk result wrappers
+        response["cluster_faults"] = result.cluster_faults
+        response["hub_reads"] = result.hub_reads
+        if result.truncated:
+            response["truncated"] = True
+        inner = result.topk if hasattr(result, "topk") else result.result
+    if hasattr(inner, "certified"):  # certified top-k
+        response["certified"] = bool(inner.certified)
+        response["iterations"] = int(inner.iterations)
+        response["l1_error"] = float(inner.l1_error)
+        response["top"] = [
+            [int(node), float(inner.scores[node])] for node in inner.nodes
+        ]
+    else:
+        response["iterations"] = int(inner.iterations)
+        response["l1_error"] = float(inner.l1_error)
+        response["top"] = [
+            [int(node), float(inner.scores[node])]
+            for node in inner.top_k(top)
+        ]
+    return response
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from repro.storage import DiskGraphStore, DiskPPVStore, cluster_graph
+
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    with ExitStack() as stack:
+        if args.backend == "disk":
+            ppv_store = stack.enter_context(DiskPPVStore(args.index))
+            if ppv_store.num_nodes != graph.num_nodes:
+                print(
+                    f"error: index covers {ppv_store.num_nodes} nodes but "
+                    f"the graph has {graph.num_nodes}",
+                    file=sys.stderr,
+                )
+                return 2
+            workdir = args.workdir
+            if workdir is None:
+                workdir = tempfile.mkdtemp(prefix="fastppv_serve_")
+                stack.callback(shutil.rmtree, workdir, ignore_errors=True)
+            assignment = cluster_graph(graph, args.clusters, seed=args.seed)
+            graph_store = DiskGraphStore(
+                graph, assignment, workdir, memory_budget=args.memory_budget
+            )
+            service = PPVService.open(
+                ppv_store,
+                backend="disk",
+                graph_store=graph_store,
+                delta=args.delta,
+                fault_budget=args.fault_budget,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+            )
+        else:
+            index = load_index(args.index)
+            if index.hub_mask.size != graph.num_nodes:
+                print(
+                    f"error: index covers {index.hub_mask.size} nodes but "
+                    f"the graph has {graph.num_nodes}",
+                    file=sys.stderr,
+                )
+                return 2
+            service = PPVService.open(
+                index,
+                graph=graph,
+                delta=args.delta,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+            )
+        stack.enter_context(service)
+        if args.requests == "-":
+            source = sys.stdin
+        else:
+            source = stack.enter_context(open(args.requests, encoding="utf-8"))
+
+        pending: list[tuple] = []
+
+        def emit_pending() -> None:
+            if not pending:
+                return
+            service.flush()
+            for request_id, spec, handle, top in pending:
+                if spec is None:  # parse/validation failure
+                    print(json.dumps({"id": request_id, "error": handle}))
+                    continue
+                try:
+                    result = handle.result()
+                except Exception as error:
+                    print(json.dumps(
+                        {"id": request_id, "error": str(error)}
+                    ))
+                    continue
+                print(json.dumps(
+                    _render_response(request_id, spec, result, top)
+                ))
+            pending.clear()
+
+        for line in source:
+            line = line.strip()
+            if not line:
+                emit_pending()
+                continue
+            request_id = None
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                request_id = request.get("id")
+                spec = _spec_from_request(request)
+                top = int(request.get("top", args.top))
+                pending.append((request_id, spec, service.submit(spec), top))
+            except Exception as error:
+                pending.append((request_id, None, str(error), None))
+        emit_pending()
+        stats = service.stats()
+        print(
+            f"served {stats.submitted} requests in {stats.batches} "
+            f"batches (largest {stats.largest_batch}); cache "
+            f"{stats.cache_hits} hits / {stats.cache_misses} misses",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -433,7 +634,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro-fastppv",
+        prog="repro",
         description="FastPPV: incremental, accuracy-aware Personalized PageRank",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -442,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_index(subparsers)
     _add_query(subparsers)
     _add_disk_query(subparsers)
+    _add_serve(subparsers)
     _add_autotune(subparsers)
     _add_validate(subparsers)
     return parser

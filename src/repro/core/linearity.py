@@ -3,7 +3,19 @@
 The PPV of a weighted query set ``{(q_i, w_i)}`` with ``sum w_i = 1`` is
 ``sum_i w_i * r_{q_i}`` — so a multi-node query decomposes into single-node
 queries, which is why the paper (Sect. 1 and Sect. 6, "Test queries") only
-evaluates single-node queries.  This module provides the assembly.
+evaluates single-node queries.  This module provides the assembly, split
+into two reusable pieces:
+
+* :func:`normalise_weights` — validate and normalise a teleport
+  preference vector;
+* :func:`combine_results` — fold already-computed single-node
+  :class:`~repro.core.query.QueryResult`\\ s into the weighted mixture.
+
+:func:`multi_node_ppv` composes them over a scalar engine; the
+:class:`~repro.serving.PPVService` façade uses the same two pieces so a
+multi-node :class:`~repro.serving.QuerySpec` is served through whichever
+backend (and batch schedule) the service runs on while producing the
+identical weighted assembly.
 """
 
 from __future__ import annotations
@@ -13,6 +25,63 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.query import FastPPV, QueryResult, StoppingCondition
+
+
+def normalise_weights(
+    num_queries: int, weights: Sequence[float] | None
+) -> np.ndarray:
+    """Teleport weights for ``num_queries`` nodes, normalised to sum to 1.
+
+    ``None`` means uniform preference.  Raises ``ValueError`` on a length
+    mismatch, negative entries, or an all-zero vector.
+    """
+    if num_queries == 0:
+        raise ValueError("a query needs at least one node")
+    if weights is None:
+        return np.full(num_queries, 1.0 / num_queries)
+    weight_arr = np.asarray(weights, dtype=float)
+    if weight_arr.shape != (num_queries,):
+        raise ValueError("one weight per query node required")
+    if np.any(weight_arr < 0.0) or weight_arr.sum() <= 0.0:
+        raise ValueError("weights must be non-negative with positive sum")
+    return weight_arr / weight_arr.sum()
+
+
+def combine_results(
+    queries: Sequence[int],
+    weight_arr: np.ndarray,
+    results: Sequence[QueryResult],
+) -> QueryResult:
+    """Weighted Linearity-Theorem mixture of per-node query results.
+
+    ``results[i]`` must be the single-node result of ``queries[i]``;
+    ``weight_arr`` is assumed normalised (see :func:`normalise_weights`).
+    ``query`` of the returned result is the first node of the set;
+    ``error_history`` combines the per-query histories weighted the same
+    way (valid since L1 error is linear over the under-approximations).
+    """
+    scores = np.zeros_like(results[0].scores)
+    for weight, result in zip(weight_arr, results):
+        scores += weight * result.scores
+
+    depth = max(len(r.error_history) for r in results)
+    combined_history = []
+    for level in range(depth):
+        error = 0.0
+        for weight, result in zip(weight_arr, results):
+            history = result.error_history
+            error += weight * history[min(level, len(history) - 1)]
+        combined_history.append(error)
+
+    return QueryResult(
+        query=int(queries[0]),
+        scores=scores,
+        iterations=max(r.iterations for r in results),
+        error_history=combined_history,
+        hubs_expanded=sum(r.hubs_expanded for r in results),
+        seconds=sum(r.seconds for r in results),
+        work_units=sum(r.work_units for r in results),
+    )
 
 
 def multi_node_ppv(
@@ -38,42 +107,8 @@ def multi_node_ppv(
     Returns
     -------
     QueryResult
-        ``query`` is the first node of the set; ``scores`` is the weighted
-        combination; ``error_history`` combines the per-query histories
-        weighted the same way (valid since L1 error is linear over the
-        under-approximations).
+        The weighted combination (see :func:`combine_results`).
     """
-    if len(queries) == 0:
-        raise ValueError("a query needs at least one node")
-    if weights is None:
-        weight_arr = np.full(len(queries), 1.0 / len(queries))
-    else:
-        weight_arr = np.asarray(weights, dtype=float)
-        if weight_arr.shape != (len(queries),):
-            raise ValueError("one weight per query node required")
-        if np.any(weight_arr < 0.0) or weight_arr.sum() <= 0.0:
-            raise ValueError("weights must be non-negative with positive sum")
-        weight_arr = weight_arr / weight_arr.sum()
-
+    weight_arr = normalise_weights(len(queries), weights)
     results = [engine.query(int(q), stop=stop) for q in queries]
-    scores = np.zeros(engine.graph.num_nodes)
-    for weight, result in zip(weight_arr, results):
-        scores += weight * result.scores
-
-    depth = max(len(r.error_history) for r in results)
-    combined_history = []
-    for level in range(depth):
-        error = 0.0
-        for weight, result in zip(weight_arr, results):
-            history = result.error_history
-            error += weight * history[min(level, len(history) - 1)]
-        combined_history.append(error)
-
-    return QueryResult(
-        query=int(queries[0]),
-        scores=scores,
-        iterations=max(r.iterations for r in results),
-        error_history=combined_history,
-        hubs_expanded=sum(r.hubs_expanded for r in results),
-        seconds=sum(r.seconds for r in results),
-    )
+    return combine_results(queries, weight_arr, results)

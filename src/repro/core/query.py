@@ -367,6 +367,16 @@ class FastPPV:
         conditions mean.  Use
         :class:`~repro.core.batch.BatchFastPPV.query_many` directly to
         opt in to shared-clock batch semantics for them.
+
+        .. deprecated::
+            Per-engine workload spellings (``query_many`` /
+            ``query_top_k_many`` on the four engines) are superseded by
+            the :class:`~repro.serving.PPVService` façade, which serves
+            the same :class:`~repro.serving.QuerySpec` on any backend,
+            coalesces concurrent submissions into engine batches, shares
+            a popularity-aware result cache, and streams per-iteration
+            snapshots.  This method remains as a thin shim over the
+            batch engine.
         """
         from repro.core.batch import batch_safe
 

@@ -184,6 +184,12 @@ def query_top_k_many(
     :meth:`~repro.core.batch.BatchFastPPV.query_top_k_many` for the
     batch-retirement contract; results are equivalent to calling
     :func:`query_top_k` per query on the scalar engine.
+
+    .. deprecated::
+        Superseded by :class:`~repro.serving.PPVService` with a
+        ``QuerySpec(node, top_k=K)`` — the façade spelling works on both
+        backends and coalesces concurrent top-k traffic.  This helper
+        remains as a thin shim.
     """
     batch = getattr(engine, "batch_engine", engine)
     return batch.query_top_k_many(queries, k=k, max_iterations=max_iterations)

@@ -1,0 +1,67 @@
+"""The serving layer: one façade over every FastPPV query engine.
+
+PRs 1-2 grew four engines (``FastPPV``, ``BatchFastPPV``,
+``DiskFastPPV``, ``BatchDiskFastPPV``), each with its own workload
+spelling.  This package puts them behind one backend-agnostic API:
+
+* :class:`PPVService` — the façade.  ``PPVService.open(index, graph=g)``
+  or ``PPVService.open(ppv_store, graph_store=s)`` resolves a backend
+  from the registry (``"memory"``, ``"disk"``) and serves
+  :class:`QuerySpec` requests on it: ``query`` (sync), ``submit``
+  (a :class:`QueryHandle` future), ``query_many`` (ordered burst),
+  ``stream`` (per-iteration :class:`QuerySnapshot` delivery).
+* A **coalescing micro-batch scheduler**: concurrent submissions are
+  admitted into one queue and drained as engine batches, so independent
+  clients share the batch engines' amortisation — on disk, two
+  concurrent callers share cluster residency instead of thrashing
+  faults (:mod:`repro.serving.scheduler`).
+* A **popularity-aware cache**: completed results are cached with hit
+  counters feeding eviction, shared by both backends and invalidated
+  whenever the index state changes (:mod:`repro.serving.cache`).
+* The :class:`~repro.serving.engines.Engine` protocol + registry, the
+  extension point for further backends
+  (:func:`~repro.serving.engines.register_backend`).
+
+Quickstart::
+
+    from repro.serving import PPVService, QuerySpec
+
+    with PPVService.open(index, graph=graph) as service:
+        result = service.query(QuerySpec(7))                  # eta = 2
+        topk = service.query(QuerySpec(7, top_k=10))          # certified
+        mixed = service.query(QuerySpec((3, 9), weights=(2, 1)))
+        for snapshot in service.stream(QuerySpec(7, top_k=10)):
+            if snapshot.certified:
+                break                                          # anytime!
+"""
+
+from repro.serving.cache import PopularityCache
+from repro.serving.engines import (
+    DiskEngine,
+    Engine,
+    MemoryEngine,
+    available_backends,
+    detect_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.serving.scheduler import CoalescingScheduler
+from repro.serving.service import PPVService, ServiceStats
+from repro.serving.spec import QueryHandle, QuerySnapshot, QuerySpec
+
+__all__ = [
+    "PPVService",
+    "ServiceStats",
+    "QuerySpec",
+    "QueryHandle",
+    "QuerySnapshot",
+    "PopularityCache",
+    "CoalescingScheduler",
+    "Engine",
+    "MemoryEngine",
+    "DiskEngine",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    "detect_backend",
+]

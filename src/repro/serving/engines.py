@@ -1,0 +1,346 @@
+"""The backend-agnostic ``Engine`` protocol, its adapters, and registry.
+
+PRs 1-2 grew four engine classes with their own ``query`` /
+``query_many`` / ``query_top_k_many`` spellings.  The serving layer
+narrows all of them to one small protocol (:class:`Engine`): a batch
+call per result kind plus a scalar streaming call, with uniform
+stop-condition routing (time-based or user-defined conditions fall back
+to the per-query scalar loop on every backend, exactly as
+``FastPPV.query_many`` always did) and a ``cache_token`` that tells the
+service when cached results went stale.
+
+Backends register under a name (``"memory"``, ``"disk"``) in a module
+registry; :meth:`~repro.serving.PPVService.open` resolves a name — or
+auto-detects one from the source object — to a factory from here.
+Third-party engines can join via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Protocol, Sequence
+
+from repro.core.batch import BatchFastPPV, batch_safe
+from repro.core.index import PPVIndex
+from repro.core.query import (
+    DEFAULT_DELTA,
+    FastPPV,
+    QueryState,
+    StoppingCondition,
+)
+from repro.core.splice import splice_matrix
+from repro.storage.disk_engine import BatchDiskFastPPV, DiskFastPPV
+from repro.storage.ppv_store import DiskPPVStore
+
+
+class Engine(Protocol):
+    """What a serving backend must provide to sit behind ``PPVService``.
+
+    The protocol normalises the four per-engine query spellings into
+    three calls; implementations guarantee that batch results equal the
+    underlying engine's own batch call over the same node list (bitwise
+    — the service adds no numerical steps of its own).
+    """
+
+    backend: str
+    """Registry name of this backend (``"memory"``, ``"disk"``, ...)."""
+
+    num_nodes: int
+    """Graph size, for request validation."""
+
+    def query_batch(
+        self, nodes: Sequence[int], stop: StoppingCondition
+    ) -> list:
+        """Serve ``nodes`` as one batch under a shared stopping rule.
+
+        Must route non-batch-safe conditions (time-based or
+        user-defined; see :func:`repro.core.batch.batch_safe`) through
+        the scalar per-query loop so their semantics are preserved.
+        """
+        ...
+
+    def query_top_k_batch(
+        self, nodes: Sequence[int], k: int, budget: int
+    ) -> list:
+        """Certified top-k for ``nodes`` with per-query retirement."""
+        ...
+
+    def query_stream(
+        self,
+        node: int,
+        stop: StoppingCondition,
+        on_iteration: Callable[[QueryState], None],
+    ):
+        """Scalar query with the per-iteration callback (streaming)."""
+        ...
+
+    def cache_token(self) -> object:
+        """Identity of the index state results were computed from.
+
+        The service drops its popularity cache whenever this object
+        changes (compared by ``is``), so cached results never outlive
+        the index they came from.
+        """
+        ...
+
+    def close(self) -> None:
+        """Release resources the adapter owns (stores it opened)."""
+        ...
+
+
+class MemoryEngine:
+    """Adapter: the in-memory ``FastPPV`` / ``BatchFastPPV`` pair.
+
+    Builds a fresh scalar engine and a cache-less batch twin (the
+    service's popularity cache replaces the engine-level LRU, so results
+    are cached exactly once) and reuses ``FastPPV.query_many``'s routing
+    rules for stop-condition safety.
+    """
+
+    backend = "memory"
+
+    def __init__(
+        self,
+        graph,
+        index: PPVIndex,
+        delta: float = DEFAULT_DELTA,
+        max_iterations: int = 64,
+        online_epsilon: float | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self._delta = delta
+        self._max_iterations = max_iterations
+        self._online_epsilon = online_epsilon
+        self._chunk_size = chunk_size
+        self._build()
+
+    def _build(self) -> None:
+        self._scalar = FastPPV(
+            self.graph,
+            self.index,
+            delta=self._delta,
+            max_iterations=self._max_iterations,
+            online_epsilon=self._online_epsilon,
+        )
+        # The scalar engine's lazy batch twin, with the engine-level LRU
+        # disabled: caching lives in the service's PopularityCache.
+        self._scalar._batch_engine = BatchFastPPV(
+            self.graph,
+            self.index,
+            delta=self._delta,
+            max_iterations=self._max_iterations,
+            online_epsilon=self._online_epsilon,
+            cache_size=0,
+            chunk_size=self._chunk_size,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    def query_batch(self, nodes, stop):
+        return self._scalar.query_many(list(nodes), stop=stop)
+
+    def query_top_k_batch(self, nodes, k, budget):
+        return self._scalar.query_many(
+            list(nodes), top_k=k, top_k_max_iterations=budget
+        )
+
+    def query_stream(self, node, stop, on_iteration):
+        return self._scalar.query(node, stop=stop, on_iteration=on_iteration)
+
+    def cache_token(self) -> object:
+        # The index's matrix lowering is rebuilt whenever the index
+        # content changes through a supported path, so its identity is
+        # exactly the lifetime of any result computed from it (the same
+        # rule BatchFastPPV's engine-level cache used).
+        return splice_matrix(self.index)
+
+    def replace_index(self, index: PPVIndex, graph=None) -> None:
+        """Swap in a new index (e.g. from ``update_index``) in place.
+
+        Pass ``graph`` too when the update changed the graph itself (the
+        usual :func:`repro.core.dynamic.update_index` flow).
+        """
+        if graph is not None:
+            self.graph = graph
+        if index.hub_mask.shape != (self.graph.num_nodes,):
+            raise ValueError("index was built for a different graph size")
+        self.index = index
+        self._build()
+
+    def close(self) -> None:  # nothing owned
+        pass
+
+
+class DiskEngine:
+    """Adapter: the disk-resident ``DiskFastPPV`` / ``BatchDiskFastPPV``
+    pair (Sect. 5.3 deployment).
+
+    Batch calls go through the cluster-grouped scheduler of
+    :class:`~repro.storage.disk_engine.BatchDiskFastPPV`, so every
+    coalesced service batch shares cluster residency across its queries
+    — two concurrent callers fault each needed cluster once per wave
+    instead of once per caller.
+    """
+
+    backend = "disk"
+
+    def __init__(
+        self,
+        graph_store,
+        ppv_store: DiskPPVStore,
+        delta: float = DEFAULT_DELTA,
+        fault_budget: int | None = None,
+        owns_store: bool = False,
+    ) -> None:
+        self.graph_store = graph_store
+        self.ppv_store = ppv_store
+        self._owns_store = owns_store
+        self._scalar = DiskFastPPV(
+            graph_store, ppv_store, delta=delta, fault_budget=fault_budget
+        )
+        self._batch = self._scalar.batch_engine
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph_store.num_nodes
+
+    def query_batch(self, nodes, stop):
+        if not batch_safe(stop):
+            # Same routing rule as the in-memory facade: shared-clock /
+            # stateful conditions keep per-query scalar semantics.
+            return [self._scalar.query(int(n), stop=stop) for n in nodes]
+        return self._batch.query_many(list(nodes), stop=stop)
+
+    def query_top_k_batch(self, nodes, k, budget):
+        return self._batch.query_top_k_many(
+            list(nodes), k=k, max_iterations=budget
+        )
+
+    def query_stream(self, node, stop, on_iteration):
+        return self._scalar.query(node, stop=stop, on_iteration=on_iteration)
+
+    def cache_token(self) -> object:
+        # On-disk indexes are immutable for the life of the store.
+        return self.ppv_store
+
+    def close(self) -> None:
+        if self._owns_store:
+            self.ppv_store.close()
+
+
+# --------------------------------------------------------------------- #
+# Backend registry
+
+
+def _memory_factory(source, *, graph=None, graph_store=None, **kwargs):
+    if graph_store is not None:
+        raise ValueError("the memory backend takes graph=, not graph_store=")
+    if isinstance(source, FastPPV):
+        engine = source
+        return MemoryEngine(
+            engine.graph,
+            engine.index,
+            delta=kwargs.pop("delta", engine.delta),
+            max_iterations=kwargs.pop("max_iterations", engine.max_iterations),
+            online_epsilon=kwargs.pop("online_epsilon", engine.online_epsilon),
+            **kwargs,
+        )
+    if isinstance(source, PPVIndex):
+        if graph is None:
+            raise ValueError(
+                "opening the memory backend from a PPVIndex needs graph="
+            )
+        return MemoryEngine(graph, source, **kwargs)
+    raise TypeError(
+        f"memory backend cannot open {type(source).__name__}; pass a "
+        "PPVIndex (with graph=) or a FastPPV engine"
+    )
+
+
+def _disk_factory(source, *, graph=None, graph_store=None, **kwargs):
+    if graph is not None:
+        raise ValueError("the disk backend takes graph_store=, not graph=")
+    if isinstance(source, DiskFastPPV):
+        engine = source
+        return DiskEngine(
+            engine.graph_store,
+            engine.ppv_store,
+            delta=kwargs.pop("delta", engine.delta),
+            fault_budget=kwargs.pop("fault_budget", engine.fault_budget),
+            **kwargs,
+        )
+    owns = False
+    if isinstance(source, (str, os.PathLike)):
+        source = DiskPPVStore(source)
+        owns = True
+    if isinstance(source, DiskPPVStore):
+        if graph_store is None:
+            if owns:
+                source.close()
+            raise ValueError(
+                "opening the disk backend needs graph_store= (a "
+                "DiskGraphStore over the same graph)"
+            )
+        return DiskEngine(graph_store, source, owns_store=owns, **kwargs)
+    raise TypeError(
+        f"disk backend cannot open {type(source).__name__}; pass a "
+        "DiskPPVStore, an .fppv path, or a DiskFastPPV engine"
+    )
+
+
+_BACKENDS: dict[str, Callable[..., Engine]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Engine]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory(source, *, graph=None, graph_store=None, **engine_kwargs)``
+    must return an :class:`Engine`.
+    """
+    _BACKENDS[name] = factory
+
+
+def resolve_backend(name: str) -> Callable[..., Engine]:
+    """The factory registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        With the list of known backends, if ``name`` is unknown.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: "
+            f"{sorted(_BACKENDS)}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def detect_backend(source, graph=None, graph_store=None) -> str:
+    """Infer the backend name from what the caller handed us."""
+    if isinstance(source, (PPVIndex, FastPPV)):
+        return "memory"
+    if isinstance(source, (DiskPPVStore, DiskFastPPV, str, os.PathLike)):
+        return "disk"
+    if graph is not None:
+        return "memory"
+    if graph_store is not None:
+        return "disk"
+    raise TypeError(
+        f"cannot infer a backend from {type(source).__name__}; pass "
+        "backend= explicitly"
+    )
+
+
+register_backend("memory", _memory_factory)
+register_backend("disk", _disk_factory)

@@ -1,0 +1,185 @@
+"""The coalescing micro-batch scheduler behind ``PPVService``.
+
+Concurrent ``submit()`` calls land in one queue; a single drain thread
+admits them in arrival order and serves them as **engine batches**: after
+the first request of a drain arrives, the scheduler holds the batch open
+for up to ``max_delay`` seconds (or until ``max_batch`` requests are
+pending, or someone kicks it) so that concurrent callers coalesce into
+one call per execution group.  On the disk backend that is what turns two
+independent clients from residency-thrashing neighbours into one
+cluster-grouped batch — each scheduling wave of
+:class:`~repro.storage.disk_engine.BatchDiskFastPPV` faults a cluster in
+once and drains every coalesced query that needs it.
+
+All engine work — batch serving *and* streaming queries — runs on the
+drain thread, so engines never see concurrent calls and need no locking
+of their own.
+
+The scheduler is deliberately engine-agnostic: it moves opaque jobs to an
+``execute`` callback (the service's planner) and only owns admission,
+batching, flushing and lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+DEFAULT_MAX_BATCH = 64
+"""Requests admitted into one drain (engine batches are chunked again
+engine-side, so this mainly bounds how long one drain can run)."""
+
+DEFAULT_MAX_DELAY = 0.002
+"""Seconds a drain holds the batch open for concurrent arrivals."""
+
+
+class CoalescingScheduler:
+    """Admission queue + drain thread (see module docstring).
+
+    Parameters
+    ----------
+    execute:
+        ``execute(jobs)`` — serve a list of admitted jobs.  Called on the
+        drain thread only.  Must not raise (the service's executor
+        converts failures into per-handle errors); if it does anyway,
+        the error is swallowed after marking the drain finished so the
+        scheduler survives.
+    max_batch:
+        Maximum jobs admitted into one drain.
+    max_delay:
+        Coalescing window in seconds (0 disables the wait: every drain
+        takes whatever is queued the moment it wakes).
+    """
+
+    def __init__(
+        self,
+        execute,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self._execute = execute
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._kicked = False
+        self._in_flight = 0
+        self.batches_served = 0
+        self.largest_batch = 0
+        self.jobs_submitted = 0
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job) -> None:
+        """Enqueue one job for the next drain."""
+        self.submit_many([job])
+
+    def submit_many(self, jobs) -> None:
+        """Enqueue several jobs atomically.
+
+        All of them enter the queue under one lock acquisition, so a
+        burst submitted together can never be split by a concurrent
+        drain waking mid-burst — the foundation of the service's
+        determinism guarantee for ``query_many``.
+        """
+        jobs = list(jobs)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._queue.extend(jobs)
+            self.jobs_submitted += len(jobs)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain_loop,
+                    name="ppv-serving-drain",
+                    daemon=True,
+                )
+                self._thread.start()
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Close the current coalescing window without waiting.
+
+        The next (or in-progress) drain pops the queue immediately
+        instead of holding the batch open for ``max_delay``.
+        """
+        with self._cond:
+            self._kicked = True
+            self._cond.notify_all()
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Kick and block until every queued job has been served.
+
+        Raises
+        ------
+        TimeoutError
+            If the queue did not empty within ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._kicked = True
+            self._cond.notify_all()
+            while self._queue or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("flush timed out")
+                self._cond.wait(remaining)
+
+    def close(self) -> None:
+        """Serve whatever is queued, then stop the drain thread.
+
+        Idempotent; further ``submit`` calls raise ``RuntimeError``.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+
+    # ------------------------------------------------------------------ #
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                # Coalescing window: hold the batch open for stragglers.
+                if self.max_delay > 0 and not self._kicked and not self._closed:
+                    deadline = time.monotonic() + self.max_delay
+                    while (
+                        len(self._queue) < self.max_batch
+                        and not self._kicked
+                        and not self._closed
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                batch = []
+                while self._queue and len(batch) < self.max_batch:
+                    batch.append(self._queue.popleft())
+                if not self._queue:
+                    self._kicked = False
+                self._in_flight += len(batch)
+            try:
+                self._execute(batch)
+            except BaseException:  # pragma: no cover - executor guards
+                pass
+            finally:
+                with self._cond:
+                    self._in_flight -= len(batch)
+                    self.batches_served += 1
+                    self.largest_batch = max(self.largest_batch, len(batch))
+                    self._cond.notify_all()

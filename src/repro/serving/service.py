@@ -1,0 +1,540 @@
+"""``PPVService`` — the one serving façade over every query engine.
+
+The service owns four things:
+
+* an :class:`~repro.serving.engines.Engine` adapter (resolved through
+  the backend registry by :meth:`PPVService.open`),
+* the :class:`~repro.serving.scheduler.CoalescingScheduler` that admits
+  concurrent ``submit()`` traffic and drains it as engine batches,
+* the shared :class:`~repro.serving.cache.PopularityCache` (hit-counter
+  eviction, invalidated whenever the engine's cache token changes),
+* the request planner that decomposes :class:`~repro.serving.QuerySpec`s
+  into per-node engine tasks — multi-node specs split into single-node
+  sub-queries and recombine via the Linearity Theorem
+  (:func:`repro.core.linearity.combine_results`).
+
+Determinism contract
+--------------------
+The service adds no numerics: every spec's scores are produced by the
+underlying engine's own batch call over the coalesced node list, so a
+``query_many`` burst returns scores **bitwise identical** to calling the
+engine's ``query_many`` directly on the same list.  When independent
+clients coalesce, the batch *composition* differs from what either
+client would have run alone; on the disk backend scores are
+schedule-independent (bitwise stable by `_PrimePushRun`'s contract), on
+the in-memory backend they match any other composition to the batch
+engine's usual ~1e-14 reassociation round-off.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.batch import batch_safe
+from repro.core.index import PPVIndex
+from repro.core.linearity import combine_results
+from repro.core.query import QueryResult
+from repro.core.topk import _certificate_holds, top_k_result
+from repro.serving.cache import DEFAULT_CACHE_SIZE, PopularityCache
+from repro.serving.engines import Engine, detect_backend, resolve_backend
+from repro.serving.scheduler import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY,
+    CoalescingScheduler,
+)
+from repro.serving.spec import QueryHandle, QuerySnapshot, QuerySpec
+from repro.storage.disk_engine import DiskQueryResult, DiskTopKResult
+
+_STREAM_DONE = object()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Counters exposed by :meth:`PPVService.stats`."""
+
+    submitted: int
+    batches: int
+    largest_batch: int
+    cache_hits: int
+    cache_misses: int
+    cache_entries: int
+
+
+class _CancellableStop:
+    """Wrap a stopping condition with a client-side cancellation flag.
+
+    Used by streaming: closing the snapshot iterator sets the flag, and
+    the engine stops at the next iteration boundary instead of running
+    the abandoned query to completion.
+    """
+
+    __slots__ = ("_inner", "_cancel")
+
+    def __init__(self, inner, cancel: threading.Event) -> None:
+        self._inner = inner
+        self._cancel = cancel
+
+    def should_stop(self, state) -> bool:
+        return self._cancel.is_set() or self._inner.should_stop(state)
+
+
+class _BatchJob:
+    __slots__ = ("spec", "handle")
+
+    def __init__(self, spec: QuerySpec, handle: QueryHandle) -> None:
+        self.spec = spec
+        self.handle = handle
+
+
+class _StreamJob:
+    __slots__ = ("spec", "handle", "out", "cancel")
+
+    def __init__(
+        self,
+        spec: QuerySpec,
+        handle: QueryHandle,
+        out: "queue.Queue",
+        cancel: threading.Event,
+    ) -> None:
+        self.spec = spec
+        self.handle = handle
+        self.out = out
+        self.cancel = cancel
+
+
+class _Task:
+    """One single-node engine task planned from a spec."""
+
+    __slots__ = ("node", "kind", "stop", "result")
+
+    def __init__(self, node: int, kind: str, stop) -> None:
+        self.node = node
+        self.kind = kind  # "stop" | "topk"
+        self.stop = stop  # resolved StoppingCondition (kind == "stop")
+        self.result = None
+
+
+class PPVService:
+    """One serving façade for all FastPPV engines (see module docstring).
+
+    Build it with :meth:`open`; use it as a context manager (or call
+    :meth:`close`) so the drain thread and any owned stores are released.
+
+    Parameters
+    ----------
+    engine:
+        An :class:`~repro.serving.engines.Engine` adapter.
+    cache_size:
+        Capacity of the popularity-aware result cache (0 disables it).
+    max_batch:
+        Requests coalesced into one scheduler drain.
+    max_delay:
+        Seconds a drain holds its batch open for concurrent arrivals.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+    ) -> None:
+        self.engine = engine
+        self.cache = PopularityCache(cache_size)
+        self._cache_token = None
+        self._scheduler = CoalescingScheduler(
+            self._serve_jobs, max_batch=max_batch, max_delay=max_delay
+        )
+        self._submitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction / lifecycle
+
+    @classmethod
+    def open(
+        cls,
+        index_or_store,
+        backend: str | None = None,
+        *,
+        graph=None,
+        graph_store=None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+        **engine_kwargs,
+    ) -> "PPVService":
+        """Open a service over an index (memory) or stores (disk).
+
+        Parameters
+        ----------
+        index_or_store:
+            What to serve from: a :class:`~repro.core.index.PPVIndex`
+            (with ``graph=``) or a ``FastPPV`` engine for the memory
+            backend; a :class:`~repro.storage.ppv_store.DiskPPVStore`,
+            an ``.fppv`` path (opened and owned by the service), or a
+            ``DiskFastPPV`` engine (with ``graph_store=``) for disk.
+        backend:
+            Registry name; auto-detected from the source type when
+            omitted.
+        engine_kwargs:
+            Forwarded to the backend factory (``delta``,
+            ``online_epsilon``, ``fault_budget``, ...).
+        """
+        name = (
+            backend
+            if backend is not None
+            else detect_backend(index_or_store, graph=graph,
+                                graph_store=graph_store)
+        )
+        factory = resolve_backend(name)
+        engine = factory(
+            index_or_store, graph=graph, graph_store=graph_store,
+            **engine_kwargs,
+        )
+        return cls(
+            engine,
+            cache_size=cache_size,
+            max_batch=max_batch,
+            max_delay=max_delay,
+        )
+
+    def __enter__(self) -> "PPVService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain pending requests, stop the scheduler, release stores."""
+        self._scheduler.close()
+        self.engine.close()
+
+    def warm(self) -> None:
+        """Materialise one-off backend state (e.g. the matrix lowering)
+        outside any timed serving region."""
+        self._refresh_cache_token()
+
+    # ------------------------------------------------------------------ #
+    # Public request API
+
+    def submit(self, spec: QuerySpec | int) -> QueryHandle:
+        """Admit a request and return its future immediately.
+
+        Concurrent submissions coalesce into shared engine batches; call
+        :meth:`flush` (or just ``handle.result()`` after a
+        ``max_delay``) to force the window closed.
+        """
+        spec = self._as_spec(spec)
+        self._validate(spec)
+        handle = QueryHandle(spec)
+        self._submitted += 1
+        self._scheduler.submit(_BatchJob(spec, handle))
+        return handle
+
+    def query(self, spec: QuerySpec | int):
+        """Serve one request synchronously (kicks the batch window)."""
+        handle = self.submit(spec)
+        self._scheduler.kick()
+        return handle.result()
+
+    def query_many(self, specs: Sequence[QuerySpec | int]) -> list:
+        """Serve a burst of requests, preserving order.
+
+        The burst is admitted atomically, so (up to ``max_batch``) it
+        runs as one coalesced drain whose engine batches contain exactly
+        these specs' nodes in order — scores bitwise-equal to calling
+        the engine's own batch method directly.
+        """
+        resolved = [self._as_spec(spec) for spec in specs]
+        for spec in resolved:
+            self._validate(spec)
+        handles = [QueryHandle(spec) for spec in resolved]
+        self._submitted += len(handles)
+        self._scheduler.submit_many(
+            _BatchJob(spec, handle)
+            for spec, handle in zip(resolved, handles)
+        )
+        self._scheduler.kick()
+        return [handle.result() for handle in handles]
+
+    def stream(self, spec: QuerySpec | int) -> Iterator[QuerySnapshot]:
+        """Serve one request as a stream of per-iteration snapshots.
+
+        Yields a :class:`~repro.serving.QuerySnapshot` after iteration 0
+        and after every incremental iteration, built on the engines'
+        ``on_iteration`` contract; for ``top_k`` specs each snapshot
+        carries the live certificate status, so accuracy-aware clients
+        can act the moment their top set certifies.  Closing the
+        iterator early cancels the query at the next iteration boundary.
+
+        Streaming bypasses the result cache (snapshot sequences must
+        reflect real execution) and is limited to single-node specs.
+        """
+        spec = self._as_spec(spec)
+        if spec.is_multi:
+            raise ValueError(
+                "streaming is limited to single-node specs; decompose "
+                "multi-node sets client-side via the Linearity Theorem"
+            )
+        self._validate(spec)
+        handle = QueryHandle(spec)
+        out: "queue.Queue" = queue.Queue()
+        cancel = threading.Event()
+        self._submitted += 1
+        self._scheduler.submit(_StreamJob(spec, handle, out, cancel))
+        self._scheduler.kick()
+
+        def snapshots() -> Iterator[QuerySnapshot]:
+            try:
+                while True:
+                    item = out.get()
+                    if item is _STREAM_DONE:
+                        if handle._error is not None:
+                            raise handle._error
+                        return
+                    yield item
+            finally:
+                cancel.set()
+
+        return snapshots()
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Force the coalescing window closed and wait for quiescence."""
+        self._scheduler.flush(timeout)
+
+    def update_index(self, index: PPVIndex, graph=None) -> None:
+        """Swap in a new index (memory backend) and invalidate the cache.
+
+        The natural partner of :func:`repro.core.dynamic.update_index`,
+        which returns a *new* index after a graph change: pass its
+        result (and the updated graph) here and the service atomically
+        starts serving from it, with every cached PPV from the old index
+        dropped.
+        """
+        replace = getattr(self.engine, "replace_index", None)
+        if replace is None:
+            raise NotImplementedError(
+                f"the {self.engine.backend!r} backend cannot swap indexes "
+                "in place"
+            )
+        self._scheduler.flush()
+        replace(index, graph=graph)
+        self.cache.clear()
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service's serving counters."""
+        return ServiceStats(
+            submitted=self._submitted,
+            batches=self._scheduler.batches_served,
+            largest_batch=self._scheduler.largest_batch,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_entries=len(self.cache),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Planning and execution (scheduler thread only)
+
+    def _as_spec(self, spec) -> QuerySpec:
+        if isinstance(spec, QuerySpec):
+            return spec
+        return QuerySpec(spec)
+
+    def _validate(self, spec: QuerySpec) -> None:
+        for node in spec.nodes:
+            if not 0 <= node < self.engine.num_nodes:
+                raise ValueError(f"query node {node} out of range")
+
+    def _refresh_cache_token(self) -> None:
+        token = self.engine.cache_token()
+        if token is not self._cache_token:
+            if self._cache_token is not None:
+                self.cache.clear()
+            self._cache_token = token
+
+    @staticmethod
+    def _plan(spec: QuerySpec) -> list[_Task]:
+        """Decompose a spec into single-node engine tasks."""
+        if spec.top_k is not None and not spec.is_multi:
+            return [_Task(spec.nodes[0], "topk", spec.resolved_stop())]
+        stop = spec.resolved_stop()
+        return [_Task(node, "stop", stop) for node in spec.nodes]
+
+    @staticmethod
+    def _cache_key(spec: QuerySpec, task: _Task) -> tuple | None:
+        """Cache key of one task, or ``None`` when uncacheable."""
+        if task.kind == "topk":
+            return ("topk", task.node, spec.top_k, spec.top_k_budget)
+        try:
+            if not batch_safe(task.stop):
+                return None
+            hash(task.stop)
+        except TypeError:
+            return None
+        return ("stop", task.node, task.stop)
+
+    @staticmethod
+    def _group_key(spec: QuerySpec, task: _Task) -> tuple:
+        if task.kind == "topk":
+            return ("topk", spec.top_k, spec.top_k_budget)
+        try:
+            hash(task.stop)
+            return ("stop", task.stop)
+        except TypeError:
+            return ("stop-instance", id(task.stop))
+
+    def _serve_jobs(self, jobs) -> None:
+        """Scheduler drain: plan, group, serve, assemble, complete.
+
+        Must leave **every** job's handle resolved (result or error) no
+        matter what fails — an unresolved handle would block its client
+        forever — hence the outer safety net below.
+        """
+        try:
+            self._serve_jobs_inner(jobs)
+        except BaseException as error:
+            for job in jobs:
+                if not job.handle.done():
+                    job.handle._set_error(error)
+                if isinstance(job, _StreamJob):
+                    job.out.put(_STREAM_DONE)
+
+    def _serve_jobs_inner(self, jobs) -> None:
+        self._refresh_cache_token()
+        batch_jobs = [job for job in jobs if isinstance(job, _BatchJob)]
+        stream_jobs = [job for job in jobs if isinstance(job, _StreamJob)]
+
+        plans: list[tuple[_BatchJob, list[_Task]]] = []
+        groups: dict[tuple, list[tuple[QuerySpec, _Task]]] = {}
+        for job in batch_jobs:
+            tasks = self._plan(job.spec)
+            plans.append((job, tasks))
+            for task in tasks:
+                key = self._cache_key(job.spec, task)
+                if key is not None:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        task.result = hit
+                        continue
+                groups.setdefault(
+                    self._group_key(job.spec, task), []
+                ).append((job.spec, task))
+
+        group_errors: dict[tuple, BaseException] = {}
+        for key, members in groups.items():
+            nodes = [task.node for _spec, task in members]
+            try:
+                if key[0] == "topk":
+                    results = self.engine.query_top_k_batch(
+                        nodes, key[1], key[2]
+                    )
+                else:
+                    results = self.engine.query_batch(
+                        nodes, members[0][1].stop
+                    )
+            except BaseException as error:
+                group_errors[key] = error
+                continue
+            for (spec, task), result in zip(members, results):
+                task.result = result
+                cache_key = self._cache_key(spec, task)
+                if cache_key is not None:
+                    try:
+                        self.cache.put(cache_key, result)
+                    except TypeError:
+                        # A custom backend's result shape copy_served
+                        # does not know: serve it, just never cache it.
+                        pass
+
+        for job, tasks in plans:
+            failed = next(
+                (
+                    group_errors[self._group_key(job.spec, task)]
+                    for task in tasks
+                    if task.result is None
+                ),
+                None,
+            )
+            if failed is not None:
+                job.handle._set_error(failed)
+                continue
+            try:
+                job.handle._set_result(self._assemble(job.spec, tasks))
+            except BaseException as error:
+                job.handle._set_error(error)
+
+        for job in stream_jobs:
+            self._run_stream(job)
+
+    def _assemble(self, spec: QuerySpec, tasks: list[_Task]):
+        """Fold task results into the spec's final result object."""
+        if not spec.is_multi:
+            return tasks[0].result
+        raw = [task.result for task in tasks]
+        on_disk = isinstance(raw[0], DiskQueryResult)
+        inners: list[QueryResult] = [
+            r.result if on_disk else r for r in raw
+        ]
+        combined = combine_results(spec.nodes, spec.weight_array(), inners)
+        if spec.top_k is not None:
+            topk = top_k_result(combined, spec.top_k)
+            if on_disk:
+                return DiskTopKResult(
+                    topk=topk,
+                    cluster_faults=sum(r.cluster_faults for r in raw),
+                    hub_reads=sum(r.hub_reads for r in raw),
+                    truncated=any(r.truncated for r in raw),
+                )
+            return topk
+        if on_disk:
+            return DiskQueryResult(
+                result=combined,
+                cluster_faults=sum(r.cluster_faults for r in raw),
+                hub_reads=sum(r.hub_reads for r in raw),
+                truncated=any(r.truncated for r in raw),
+            )
+        return combined
+
+    def _run_stream(self, job: _StreamJob) -> None:
+        spec = job.spec
+        k = spec.top_k
+        stop = _CancellableStop(spec.resolved_stop(), job.cancel)
+
+        def on_iteration(state) -> None:
+            certified = None
+            if k is not None and state.scores is not None:
+                certified = _certificate_holds(
+                    state.scores, k, state.l1_error
+                )
+            job.out.put(
+                QuerySnapshot(
+                    iteration=state.iteration,
+                    l1_error=state.l1_error,
+                    frontier_size=state.frontier_size,
+                    scores=state.scores.copy(),
+                    certified=certified,
+                )
+            )
+
+        try:
+            result = self.engine.query_stream(
+                spec.nodes[0], stop, on_iteration
+            )
+            if k is not None:
+                if isinstance(result, DiskQueryResult):
+                    result = DiskTopKResult(
+                        topk=top_k_result(result.result, k),
+                        cluster_faults=result.cluster_faults,
+                        hub_reads=result.hub_reads,
+                        truncated=result.truncated,
+                    )
+                else:
+                    result = top_k_result(result, k)
+            job.handle._set_result(result)
+        except BaseException as error:
+            job.handle._set_error(error)
+        finally:
+            job.out.put(_STREAM_DONE)

@@ -1,0 +1,211 @@
+"""The serving request model: specs, handles, and streaming snapshots.
+
+A :class:`QuerySpec` is the backend-agnostic description of one request:
+which node(s) to personalise on (multi-node sets combine via the
+Linearity Theorem, see :mod:`repro.core.linearity`), how to stop (a
+stopping condition or a certified top-k target), and the teleport
+weights.  Specs are frozen and hashable so they can key caches and group
+compatible requests into one engine batch.
+
+A :class:`QueryHandle` is the future returned by
+:meth:`~repro.serving.PPVService.submit`: the scheduler completes it
+once the coalesced batch containing the spec has run.
+
+A :class:`QuerySnapshot` is one frame of a streaming query
+(:meth:`~repro.serving.PPVService.stream`): the per-iteration state of
+Algorithm 2, including a stable copy of the partial estimate so
+accuracy-aware clients can consume PPVs as they converge.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.linearity import normalise_weights
+from repro.core.query import StoppingCondition, StopAfterIterations
+from repro.core.topk import StopWhenCertified
+
+DEFAULT_ETA = 2
+"""Default incremental iterations when a spec names no stopping rule."""
+
+DEFAULT_TOPK_BUDGET = 32
+"""Default certificate iteration budget for ``top_k`` specs."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One serving request, independent of the backend that runs it.
+
+    Parameters
+    ----------
+    nodes:
+        A single node id or a sequence of them.  Multi-node specs are
+        decomposed into single-node sub-queries and recombined with the
+        Linearity Theorem.
+    weights:
+        Teleport preference per node (multi-node specs only); uniform
+        when omitted.  Normalised to sum to 1 at construction.
+    stop:
+        Stopping condition shared by every sub-query; defaults to the
+        paper's ``StopAfterIterations(2)``.  Mutually exclusive with
+        ``top_k``.
+    top_k:
+        Certified top-k serving: iterate until the top-``top_k`` set is
+        provably exact or ``top_k_budget`` iterations are spent.
+    top_k_budget:
+        Certificate iteration budget (only with ``top_k``).
+    """
+
+    nodes: tuple[int, ...]
+    weights: tuple[float, ...] | None = None
+    stop: StoppingCondition | None = None
+    top_k: int | None = None
+    top_k_budget: int = DEFAULT_TOPK_BUDGET
+
+    def __init__(
+        self,
+        nodes: int | Sequence[int],
+        weights: Sequence[float] | None = None,
+        stop: StoppingCondition | None = None,
+        top_k: int | None = None,
+        top_k_budget: int = DEFAULT_TOPK_BUDGET,
+    ) -> None:
+        if isinstance(nodes, (int, np.integer)):
+            node_tuple: tuple[int, ...] = (int(nodes),)
+        else:
+            node_tuple = tuple(int(n) for n in nodes)
+        if not node_tuple:
+            raise ValueError("a QuerySpec needs at least one node")
+        if top_k is not None:
+            if stop is not None:
+                raise ValueError("pass either stop or top_k, not both")
+            if top_k <= 0:
+                raise ValueError("top_k must be positive")
+            if top_k_budget < 0:
+                raise ValueError("top_k_budget must be non-negative")
+        weight_tuple: tuple[float, ...] | None = None
+        if weights is not None:
+            weight_tuple = tuple(
+                float(w)
+                for w in normalise_weights(len(node_tuple), weights)
+            )
+        object.__setattr__(self, "nodes", node_tuple)
+        object.__setattr__(self, "weights", weight_tuple)
+        object.__setattr__(self, "stop", stop)
+        object.__setattr__(self, "top_k", top_k)
+        object.__setattr__(self, "top_k_budget", int(top_k_budget))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_multi(self) -> bool:
+        """Whether this is a multi-node (Linearity Theorem) query."""
+        return len(self.nodes) > 1
+
+    def weight_array(self) -> np.ndarray:
+        """Normalised teleport weights, materialising the uniform default."""
+        if self.weights is None:
+            return np.full(len(self.nodes), 1.0 / len(self.nodes))
+        return np.asarray(self.weights, dtype=float)
+
+    def resolved_stop(self) -> StoppingCondition:
+        """The stopping condition sub-queries actually run with.
+
+        ``top_k`` specs resolve to the certificate rule
+        (:class:`~repro.core.topk.StopWhenCertified`); otherwise the
+        explicit ``stop`` or the paper's default
+        ``StopAfterIterations(2)``.
+        """
+        if self.top_k is not None:
+            return StopWhenCertified(
+                k=self.top_k, max_iterations=self.top_k_budget
+            )
+        if self.stop is not None:
+            return self.stop
+        return StopAfterIterations(DEFAULT_ETA)
+
+class QueryHandle:
+    """Future for a submitted :class:`QuerySpec`.
+
+    Completed by the scheduler once the coalesced batch containing the
+    spec has been served; :meth:`result` blocks until then (re-raising
+    any execution error).
+    """
+
+    __slots__ = ("spec", "_event", "_result", "_error")
+
+    def __init__(self, spec: QuerySpec) -> None:
+        self.spec = spec
+        self._event = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the result (or an error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until served and return the backend's result object.
+
+        Memory backend: :class:`~repro.core.query.QueryResult`
+        (or :class:`~repro.core.topk.TopKResult` for ``top_k`` specs);
+        disk backend: :class:`~repro.storage.disk_engine.DiskQueryResult`
+        (or :class:`~repro.storage.disk_engine.DiskTopKResult`).
+
+        Raises
+        ------
+        TimeoutError
+            If ``timeout`` elapses before the batch ran.
+        Exception
+            Whatever the engine raised while serving the spec.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("query handle not served within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    # Called by the scheduler only.
+    def _set_result(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def _set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass(frozen=True, eq=False)
+class QuerySnapshot:
+    """One streamed frame of an in-flight query.
+
+    Attributes
+    ----------
+    iteration:
+        Incremental iterations completed (0 = prime PPV only).
+    l1_error:
+        Query-time L1 error of the partial estimate (Eq. 6).
+    frontier_size:
+        Hubs on the current frontier.
+    scores:
+        A *copy* of the partial estimate, safe to keep after the stream
+        advances (the engine mutates its buffer in place).
+    certified:
+        For ``top_k`` specs, whether the top-k certificate held at this
+        iteration; ``None`` for plain specs.
+    """
+
+    iteration: int
+    l1_error: float
+    frontier_size: int
+    scores: np.ndarray = field(repr=False)
+    certified: bool | None = None
+
+    def top_k(self, k: int = 10) -> np.ndarray:
+        """Node ids of the ``k`` highest partial scores, best first."""
+        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        return order[:k]

@@ -335,28 +335,38 @@ def _splice_rounds(
     delta: float,
     fetch: Callable[[int], PrimePPV],
     started: float,
+    on_iteration: Callable[[QueryState], None] | None = None,
 ) -> tuple[int, list[float], int, int]:
     """Algorithm 2's incremental rounds against a hub-fetch function.
 
     Shared by the scalar and batched disk engines; ``fetch`` is either a
     direct :meth:`DiskPPVStore.get` (one physical read per call) or a
-    per-batch cache over it.  Returns ``(iterations, error_history,
-    hubs_expanded, requested_reads)`` where ``requested_reads`` counts
-    fetch calls — the scalar-equivalent read cost.
+    per-batch cache over it.  ``on_iteration`` mirrors the in-memory
+    engine's contract — invoked with the :class:`QueryState` once per
+    executed iteration, iteration 0 included — so streaming clients can
+    observe partial estimates from the disk path too.  Returns
+    ``(iterations, error_history, hubs_expanded, requested_reads)`` where
+    ``requested_reads`` counts fetch calls — the scalar-equivalent read
+    cost.
     """
     error_history = [1.0 - float(estimate.sum())]
     hubs_expanded = 0
     iteration = 0
     requested_reads = 0
-    while frontier and iteration < 64:
-        state = QueryState(
+
+    def current_state() -> QueryState:
+        return QueryState(
             iteration=iteration,
             l1_error=error_history[-1],
             elapsed_seconds=time.perf_counter() - started,
             frontier_size=len(frontier),
             scores=estimate,
         )
-        if stop.should_stop(state):
+
+    if on_iteration is not None:
+        on_iteration(current_state())
+    while frontier and iteration < 64:
+        if stop.should_stop(current_state()):
             break
         iteration += 1
         next_frontier: dict[int, float] = {}
@@ -376,6 +386,8 @@ def _splice_rounds(
                 )
         frontier = next_frontier
         error_history.append(1.0 - float(estimate.sum()))
+        if on_iteration is not None:
+            on_iteration(current_state())
     return iteration, error_history, hubs_expanded, requested_reads
 
 
@@ -477,8 +489,15 @@ class DiskFastPPV:
         self,
         query: int,
         stop: StoppingCondition | None = None,
+        on_iteration: Callable[[QueryState], None] | None = None,
     ) -> DiskQueryResult:
-        """Estimate the PPV of ``query`` from disk-resident data."""
+        """Estimate the PPV of ``query`` from disk-resident data.
+
+        ``on_iteration`` follows the in-memory engine's contract: invoked
+        with the :class:`~repro.core.query.QueryState` after every
+        executed splice iteration (iteration 0 included) — note the prime
+        push that *builds* iteration 0 is not observable step by step.
+        """
         if not 0 <= query < self.graph_store.num_nodes:
             raise ValueError(f"query node {query} out of range")
         if stop is None:
@@ -506,6 +525,7 @@ class DiskFastPPV:
             self.delta,
             self.ppv_store.get,
             started,
+            on_iteration=on_iteration,
         )
 
         result = QueryResult(
@@ -540,7 +560,15 @@ class DiskFastPPV:
         queries: Sequence[int],
         stop: StoppingCondition | None = None,
     ) -> list[DiskQueryResult]:
-        """Serve a workload through :class:`BatchDiskFastPPV`."""
+        """Serve a workload through :class:`BatchDiskFastPPV`.
+
+        .. deprecated::
+            Per-engine workload spellings are superseded by the
+            :class:`~repro.serving.PPVService` façade, which coalesces
+            concurrent submissions, shares the popularity-aware result
+            cache across backends, and streams partial results.  This
+            method remains as a thin shim over the batch engine.
+        """
         return self.batch_engine.query_many(queries, stop=stop)
 
 

@@ -199,6 +199,87 @@ class TestDiskQuery:
         assert "error" in capsys.readouterr().err
 
 
+class TestServe:
+    def _responses(self, capsys):
+        import json
+
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        return [json.loads(line) for line in lines], captured.err
+
+    def test_jsonl_loop_in_request_order(self, graph_file, index_file,
+                                         tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"id": 1, "node": 7}\n'
+            '{"id": 2, "nodes": [3, 9], "weights": [2, 1]}\n'
+            "\n"
+            '{"id": 3, "node": 12, "top_k": 4}\n'
+            '{"id": 4, "node": 7, "target_error": 0.5}\n'
+        )
+        code = main(
+            ["serve", str(graph_file), str(index_file),
+             "--requests", str(requests), "--top", "3"]
+        )
+        assert code == 0
+        responses, err = self._responses(capsys)
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+        assert responses[0]["nodes"] == [7]
+        assert len(responses[0]["top"]) == 3
+        assert responses[1]["nodes"] == [3, 9]
+        assert responses[2]["certified"] in (True, False)
+        assert len(responses[2]["top"]) == 4
+        assert responses[3]["l1_error"] <= 0.5
+        # The summary goes to stderr, keeping stdout pure JSONL.
+        assert "served 4 requests" in err
+
+    def test_bad_requests_answered_in_place(self, graph_file, index_file,
+                                            tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"id": "bad-node", "node": 999999}\n'
+            '{"id": "no-node"}\n'
+            "not json at all\n"
+            '{"id": "ok", "node": 3}\n'
+        )
+        code = main(
+            ["serve", str(graph_file), str(index_file),
+             "--requests", str(requests)]
+        )
+        assert code == 0
+        responses, _err = self._responses(capsys)
+        assert "out of range" in responses[0]["error"]
+        assert "node" in responses[1]["error"]
+        assert "error" in responses[2]
+        assert responses[3]["iterations"] == 2
+
+    def test_disk_backend_reports_io(self, graph_file, index_file,
+                                     tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"id": 1, "node": 7}\n{"id": 2, "node": 9}\n')
+        code = main(
+            ["serve", str(graph_file), str(index_file),
+             "--requests", str(requests), "--backend", "disk",
+             "--clusters", "4", "--workdir", str(tmp_path / "clusters")]
+        )
+        assert code == 0
+        responses, _err = self._responses(capsys)
+        assert all("cluster_faults" in r and "hub_reads" in r
+                   for r in responses)
+
+    def test_mismatched_index_fails(self, index_file, tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        main(["generate", "social", "--nodes", "100", "--out", str(other)])
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"id": 1, "node": 1}\n')
+        code = main(
+            ["serve", str(other), str(index_file),
+             "--requests", str(requests)]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestAutotune:
     def test_recommends(self, graph_file, capsys):
         code = main(["autotune", str(graph_file), "--queries", "5"])
@@ -214,7 +295,8 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_prog_name(self):
-        assert build_parser().prog == "repro-fastppv"
+        # Matches the console-script entry point in pyproject.toml.
+        assert build_parser().prog == "repro"
 
 
 class TestValidate:

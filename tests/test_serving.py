@@ -1,0 +1,516 @@
+"""The PPVService façade: backend registry, equivalence with direct
+engine calls (pinned bitwise), coalescing, handles, and streaming."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchFastPPV,
+    FastPPV,
+    PPVService,
+    QuerySpec,
+    StopAfterIterations,
+    StopAfterTime,
+    StopAtL1Error,
+    any_of,
+    build_index,
+    select_hubs,
+)
+from repro.core.linearity import combine_results, multi_node_ppv, normalise_weights
+from repro.serving import engines as serving_engines
+from repro.serving.engines import (
+    available_backends,
+    detect_backend,
+    register_backend,
+)
+from repro.storage import (
+    DiskFastPPV,
+    DiskGraphStore,
+    DiskPPVStore,
+    cluster_graph,
+    save_index,
+)
+
+STOP = StopAfterIterations(2)
+
+
+@pytest.fixture(scope="module")
+def certifiable_index(small_social):
+    """clip=0 so top-k certificates can actually fire."""
+    hubs = select_hubs(small_social, num_hubs=40)
+    return build_index(small_social, hubs, clip=0.0, epsilon=1e-6)
+
+
+@pytest.fixture(scope="module")
+def disk_setup(small_social, small_social_index, tmp_path_factory):
+    root = tmp_path_factory.mktemp("serving_disk")
+    index_path = root / "index.fppv"
+    save_index(small_social_index, index_path)
+    assignment = cluster_graph(small_social, 5, seed=1)
+    return root, small_social, assignment, index_path
+
+
+@pytest.fixture()
+def memory_service(small_social, small_social_index):
+    with PPVService.open(
+        small_social_index, graph=small_social, delta=1e-4
+    ) as service:
+        yield service
+
+
+class TestOpenAndRegistry:
+    def test_auto_detects_memory(self, small_social, small_social_index):
+        with PPVService.open(small_social_index, graph=small_social) as service:
+            assert service.engine.backend == "memory"
+            assert service.engine.num_nodes == small_social.num_nodes
+
+    def test_opens_from_fastppv_engine(self, small_social, small_social_index):
+        engine = FastPPV(small_social, small_social_index, delta=1e-3)
+        with PPVService.open(engine) as service:
+            assert service.engine.backend == "memory"
+            # Engine parameters carry over into the adapter.
+            assert service.engine._scalar.delta == 1e-3
+
+    def test_auto_detects_disk(self, disk_setup):
+        root, graph, assignment, index_path = disk_setup
+        store = DiskGraphStore(graph, assignment, root / "detect")
+        with PPVService.open(str(index_path), graph_store=store) as service:
+            assert service.engine.backend == "disk"
+            result = service.query(QuerySpec(3, stop=STOP))
+            assert result.scores.size == graph.num_nodes
+        # Owned store (opened from the path) is closed with the service.
+        assert service.engine.ppv_store._handle.closed
+
+    def test_memory_needs_graph(self, small_social_index):
+        with pytest.raises(ValueError, match="graph="):
+            PPVService.open(small_social_index)
+
+    def test_disk_rejects_graph_kwarg(self, disk_setup, small_social):
+        root, graph, assignment, index_path = disk_setup
+        with pytest.raises(ValueError, match="graph_store="):
+            PPVService.open(str(index_path), backend="disk", graph=small_social)
+
+    def test_unknown_backend(self, small_social, small_social_index):
+        with pytest.raises(KeyError, match="unknown backend"):
+            PPVService.open(
+                small_social_index, backend="gpu", graph=small_social
+            )
+
+    def test_detect_needs_a_hint(self):
+        with pytest.raises(TypeError, match="cannot infer"):
+            detect_backend(object())
+
+    def test_available_backends(self):
+        names = available_backends()
+        assert "memory" in names and "disk" in names
+
+    def test_register_custom_backend(self, small_social, small_social_index):
+        built = {}
+
+        def factory(source, *, graph=None, graph_store=None, **kwargs):
+            built["source"] = source
+            return serving_engines.MemoryEngine(graph, source, **kwargs)
+
+        register_backend("custom", factory)
+        try:
+            with PPVService.open(
+                small_social_index, backend="custom", graph=small_social
+            ) as service:
+                assert built["source"] is small_social_index
+                result = service.query(QuerySpec(2, stop=STOP))
+                assert result.iterations == 2
+        finally:
+            del serving_engines._BACKENDS["custom"]
+
+
+class TestMemoryEquivalence:
+    def test_query_many_bitwise_equal_to_engine(self, small_social,
+                                                small_social_index,
+                                                memory_service):
+        nodes = [9, 4, 120, 77, 300, 41, 17, 250]
+        for stop in [STOP, StopAtL1Error(0.05),
+                     any_of(StopAfterIterations(3), StopAtL1Error(0.01))]:
+            served = memory_service.query_many(
+                [QuerySpec(n, stop=stop) for n in nodes]
+            )
+            direct = BatchFastPPV(
+                small_social, small_social_index, delta=1e-4, cache_size=0
+            ).query_many(nodes, stop=stop)
+            for a, b in zip(served, direct):
+                np.testing.assert_array_equal(a.scores, b.scores)
+                assert a.iterations == b.iterations
+                assert a.error_history == b.error_history
+                assert a.work_units == b.work_units
+
+    def test_top_k_specs_match_engine(self, small_social, certifiable_index):
+        nodes = [5, 30, 200]
+        with PPVService.open(
+            certifiable_index, graph=small_social, delta=0.0
+        ) as service:
+            served = service.query_many(
+                [QuerySpec(n, top_k=5, top_k_budget=30) for n in nodes]
+            )
+        direct = BatchFastPPV(
+            small_social, certifiable_index, delta=0.0, cache_size=0
+        ).query_top_k_many(nodes, k=5, max_iterations=30)
+        assert any(r.certified for r in served)
+        for a, b in zip(served, direct):
+            np.testing.assert_array_equal(a.nodes, b.nodes)
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.certified == b.certified
+            assert a.iterations == b.iterations
+
+    def test_non_batch_safe_stop_keeps_scalar_semantics(
+            self, small_social, small_social_index, memory_service):
+        stop = any_of(StopAfterIterations(2), StopAfterTime(1e9))
+        served = memory_service.query(QuerySpec(7, stop=stop))
+        scalar = FastPPV(small_social, small_social_index, delta=1e-4)
+        reference = scalar.query(7, stop=stop)
+        np.testing.assert_array_equal(served.scores, reference.scores)
+        assert served.iterations == reference.iterations
+
+    def test_plain_int_is_a_spec(self, memory_service):
+        result = memory_service.query(5)
+        assert result.query == 5
+        assert result.iterations == 2  # the paper's default eta
+
+    def test_out_of_range_rejected_at_submit(self, memory_service,
+                                             small_social):
+        with pytest.raises(ValueError, match="out of range"):
+            memory_service.submit(QuerySpec(small_social.num_nodes))
+
+    def test_mixed_kinds_in_one_burst(self, small_social, certifiable_index):
+        with PPVService.open(
+            certifiable_index, graph=small_social, delta=0.0
+        ) as service:
+            plain, topk, multi = service.query_many([
+                QuerySpec(3, stop=STOP),
+                QuerySpec(8, top_k=4),
+                QuerySpec((3, 8), weights=(1.0, 3.0), stop=STOP),
+            ])
+        assert plain.iterations == 2
+        assert hasattr(topk, "certified")
+        assert multi.query == 3
+        assert multi.scores.shape == (small_social.num_nodes,)
+
+
+class TestDiskEquivalence:
+    def test_bitwise_equal_to_scalar_disk_engine(self, disk_setup):
+        root, graph, assignment, index_path = disk_setup
+        nodes = [9, 4, 120, 77]
+        store = DiskGraphStore(graph, assignment, root / "facade")
+        with DiskPPVStore(index_path) as ppv_store:
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0
+            ) as service:
+                served = service.query_many(
+                    [QuerySpec(n, stop=STOP) for n in nodes]
+                )
+        reference_store = DiskGraphStore(graph, assignment, root / "scalar")
+        with DiskPPVStore(index_path) as ppv_store:
+            scalar = DiskFastPPV(reference_store, ppv_store, delta=0.0)
+            for node, result in zip(nodes, served):
+                reference = scalar.query(node, stop=STOP)
+                np.testing.assert_array_equal(
+                    result.scores, reference.scores
+                )
+                # Facade faults are the batch engine's budget-independent
+                # drain count, an upper bound on the scalar engine's
+                # physical faults (consecutive drains of one resident
+                # cluster are free there) — see the disk_engine docstring.
+                assert result.cluster_faults >= reference.cluster_faults
+                assert result.hub_reads == reference.hub_reads
+                assert result.truncated == reference.truncated
+
+    def test_disk_top_k(self, disk_setup):
+        root, graph, assignment, index_path = disk_setup
+        store = DiskGraphStore(graph, assignment, root / "topk")
+        with DiskPPVStore(index_path) as ppv_store:
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0
+            ) as service:
+                result = service.query(QuerySpec(9, top_k=5))
+        assert result.topk.nodes.size == 5
+        assert result.hub_reads > 0
+
+
+class TestCoalescing:
+    def test_flush_forces_the_window_closed(self, small_social,
+                                            small_social_index):
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4,
+            max_delay=30.0,
+        ) as service:
+            handle = service.submit(QuerySpec(5, stop=STOP))
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.05)
+            assert not handle.done()
+            service.flush()
+            assert handle.done()
+            assert handle.result().query == 5
+
+    def test_concurrent_submissions_coalesce(self, small_social,
+                                             small_social_index):
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4,
+            max_delay=0.2, cache_size=0,
+        ) as service:
+            barrier = threading.Barrier(2)
+            outcome: dict[str, list] = {}
+
+            def client(name: str, nodes: list[int]) -> None:
+                barrier.wait()
+                handles = [
+                    service.submit(QuerySpec(n, stop=STOP)) for n in nodes
+                ]
+                outcome[name] = [handle.result() for handle in handles]
+
+            threads = [
+                threading.Thread(target=client, args=("a", list(range(8)))),
+                threading.Thread(
+                    target=client, args=("b", list(range(20, 28)))
+                ),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        # Both clients' bursts shared scheduler drains...
+        assert stats.largest_batch > 8
+        # ... and every result still matches a dedicated scalar query.
+        scalar = FastPPV(small_social, small_social_index, delta=1e-4)
+        for name, nodes in (("a", range(8)), ("b", range(20, 28))):
+            for node, result in zip(nodes, outcome[name]):
+                reference = scalar.query(node, stop=STOP)
+                np.testing.assert_allclose(
+                    result.scores, reference.scores, atol=1e-12
+                )
+
+    def test_max_batch_splits_drains(self, small_social, small_social_index):
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4,
+            max_batch=4, cache_size=0,
+        ) as service:
+            results = service.query_many(
+                [QuerySpec(n, stop=STOP) for n in range(10)]
+            )
+            assert len(results) == 10
+            assert service.stats().batches >= 3
+
+    def test_engine_error_fails_only_its_group(self, small_social,
+                                               small_social_index,
+                                               monkeypatch):
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4,
+            max_delay=10.0,
+        ) as service:
+            original = service.engine.query_batch
+
+            def failing(nodes, stop):
+                if isinstance(stop, StopAtL1Error):
+                    raise RuntimeError("backend exploded")
+                return original(nodes, stop)
+
+            monkeypatch.setattr(service.engine, "query_batch", failing)
+            bad = service.submit(QuerySpec(3, stop=StopAtL1Error(0.01)))
+            good = service.submit(QuerySpec(4, stop=STOP))
+            service.flush()
+            with pytest.raises(RuntimeError, match="backend exploded"):
+                bad.result()
+            assert good.result().query == 4
+
+    def test_unknown_result_shape_served_uncached(self, small_social,
+                                                  small_social_index,
+                                                  monkeypatch):
+        # A custom backend may return result shapes copy_served cannot
+        # copy; they must be served (uncached), never strand the handle.
+        class Opaque:
+            def __init__(self, inner):
+                self.inner = inner
+
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4
+        ) as service:
+            original = service.engine.query_batch
+            monkeypatch.setattr(
+                service.engine,
+                "query_batch",
+                lambda nodes, stop: [
+                    Opaque(r) for r in original(nodes, stop)
+                ],
+            )
+            result = service.query(QuerySpec(5, stop=STOP))
+            assert isinstance(result, Opaque)
+            assert service.stats().cache_entries == 0
+
+    def test_planner_failure_resolves_every_handle(self, small_social,
+                                                   small_social_index,
+                                                   monkeypatch):
+        # If the drain itself blows up before per-group handling (here:
+        # the cache-token refresh), no handle may be left blocking.
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4,
+            max_delay=10.0,
+        ) as service:
+            monkeypatch.setattr(
+                service.engine,
+                "cache_token",
+                lambda: (_ for _ in ()).throw(RuntimeError("token broke")),
+            )
+            handle = service.submit(QuerySpec(3, stop=STOP))
+            service.flush()
+            with pytest.raises(RuntimeError, match="token broke"):
+                handle.result(timeout=5)
+
+    def test_submit_after_close_raises(self, small_social,
+                                       small_social_index):
+        service = PPVService.open(small_social_index, graph=small_social)
+        service.query(QuerySpec(3))
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(QuerySpec(4))
+
+
+class TestStreaming:
+    def test_snapshot_sequence_matches_scalar_run(self, small_social,
+                                                  small_social_index,
+                                                  memory_service):
+        snapshots = list(memory_service.stream(QuerySpec(7, stop=STOP)))
+        scalar = FastPPV(small_social, small_social_index, delta=1e-4)
+        reference = scalar.query(7, stop=STOP)
+        assert len(snapshots) == reference.iterations + 1
+        assert [s.iteration for s in snapshots] == list(
+            range(reference.iterations + 1)
+        )
+        np.testing.assert_array_equal(
+            snapshots[-1].scores, reference.scores
+        )
+        np.testing.assert_allclose(
+            [s.l1_error for s in snapshots], reference.error_history
+        )
+        # Errors only shrink (monotone mass accumulation).
+        errors = [s.l1_error for s in snapshots]
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_snapshots_are_stable_copies(self, memory_service):
+        snapshots = list(memory_service.stream(QuerySpec(7, stop=STOP)))
+        # Frames must not alias one engine buffer: each is a snapshot in
+        # time, so mass only grows frame over frame.
+        assert snapshots[0].scores.sum() < snapshots[-1].scores.sum()
+
+    def test_certificate_status_streams(self, small_social,
+                                        certifiable_index):
+        with PPVService.open(
+            certifiable_index, graph=small_social, delta=0.0
+        ) as service:
+            snapshots = list(service.stream(QuerySpec(7, top_k=3)))
+        assert all(s.certified is not None for s in snapshots)
+        assert snapshots[-1].certified  # fired (that is why it stopped)
+        assert not snapshots[0].certified
+
+    def test_early_break_cancels(self, small_social, small_social_index):
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=0.0
+        ) as service:
+            stream = service.stream(
+                QuerySpec(7, stop=StopAfterIterations(50))
+            )
+            seen = 0
+            for _snapshot in stream:
+                seen += 1
+                if seen == 2:
+                    break
+            stream.close()
+            # The service is still healthy and serves new traffic.
+            assert service.query(QuerySpec(3, stop=STOP)).iterations == 2
+
+    def test_multi_node_stream_rejected(self, memory_service):
+        with pytest.raises(ValueError, match="single-node"):
+            memory_service.stream(QuerySpec((1, 2)))
+
+    def test_disk_streaming(self, disk_setup):
+        root, graph, assignment, index_path = disk_setup
+        store = DiskGraphStore(graph, assignment, root / "stream")
+        with DiskPPVStore(index_path) as ppv_store:
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0
+            ) as service:
+                snapshots = list(service.stream(QuerySpec(9, stop=STOP)))
+        assert [s.iteration for s in snapshots] == list(range(len(snapshots)))
+        assert snapshots[-1].l1_error <= snapshots[0].l1_error
+
+
+class TestMultiNodeSpecs:
+    def test_matches_multi_node_ppv_on_memory(self, small_social,
+                                              small_social_index,
+                                              memory_service):
+        nodes, weights = (3, 9, 40), (2.0, 1.0, 1.0)
+        served = memory_service.query(
+            QuerySpec(nodes, weights=weights, stop=STOP)
+        )
+        scalar = FastPPV(small_social, small_social_index, delta=1e-4)
+        reference = multi_node_ppv(
+            scalar, list(nodes), weights=list(weights), stop=STOP
+        )
+        assert served.query == reference.query
+        assert served.iterations == reference.iterations
+        np.testing.assert_allclose(served.scores, reference.scores,
+                                   atol=1e-12)
+        np.testing.assert_allclose(
+            served.error_history, reference.error_history, atol=1e-12
+        )
+
+    def test_matches_manual_combination_on_disk(self, disk_setup):
+        root, graph, assignment, index_path = disk_setup
+        nodes, weights = (3, 9), (1.0, 3.0)
+        store = DiskGraphStore(graph, assignment, root / "multi")
+        with DiskPPVStore(index_path) as ppv_store:
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0
+            ) as service:
+                served = service.query(
+                    QuerySpec(nodes, weights=weights, stop=STOP)
+                )
+        reference_store = DiskGraphStore(graph, assignment, root / "multi2")
+        with DiskPPVStore(index_path) as ppv_store:
+            scalar = DiskFastPPV(reference_store, ppv_store, delta=0.0)
+            parts = [scalar.query(n, stop=STOP) for n in nodes]
+        expected = combine_results(
+            nodes,
+            normalise_weights(len(nodes), weights),
+            [p.result for p in parts],
+        )
+        np.testing.assert_array_equal(served.scores, expected.scores)
+        assert served.cluster_faults == sum(p.cluster_faults for p in parts)
+        assert served.hub_reads == sum(p.hub_reads for p in parts)
+
+    def test_multi_node_top_k_certifies_on_the_mixture(self, small_social,
+                                                       certifiable_index):
+        with PPVService.open(
+            certifiable_index, graph=small_social, delta=0.0
+        ) as service:
+            result = service.query(
+                QuerySpec((3, 9), top_k=5, top_k_budget=30)
+            )
+        assert result.nodes.size == 5
+        # The certificate is re-evaluated on the combined estimate.
+        assert isinstance(result.certified, bool)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec((1, 2), weights=(1.0,))
+        with pytest.raises(ValueError):
+            QuerySpec((1, 2), weights=(-1.0, 2.0))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            QuerySpec(())
+        with pytest.raises(ValueError):
+            QuerySpec(1, stop=STOP, top_k=5)
+        with pytest.raises(ValueError):
+            QuerySpec(1, top_k=0)
