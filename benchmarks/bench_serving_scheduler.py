@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.common import BENCH_SCALE, emit
+from benchmarks.common import BENCH_SCALE, emit, emit_json
 from repro import (
     FastPPV,
     StopAfterIterations,
@@ -102,6 +102,19 @@ def test_coalesced_submission_throughput(setup):
     table.add_row("facade, one query() at a time", f"{rate(loop_seconds):.0f}")
     table.add_row("facade, coalesced query_many()", f"{rate(coalesced_seconds):.0f}")
     emit("serving_scheduler_throughput", table)
+    emit_json(
+        "serving_scheduler",
+        {
+            "throughput": {
+                "num_nodes": graph.num_nodes,
+                "num_hubs": int(index.num_hubs),
+                "num_queries": len(queries),
+                "scalar_qps": rate(scalar_seconds),
+                "facade_loop_qps": rate(loop_seconds),
+                "facade_coalesced_qps": rate(coalesced_seconds),
+            }
+        },
+    )
 
     # Acceptance: coalesced submission at least matches the scalar
     # submission loop (at full scale it rides the batch engine's ~3-4x).
@@ -173,6 +186,20 @@ def test_concurrent_disk_clients_share_residency(setup, tmp_path):
         f"{concurrent_reads:.1f}",
     )
     emit("serving_scheduler_disk", table)
+    emit_json(
+        "serving_scheduler",
+        {
+            "disk_residency": {
+                "num_nodes": graph.num_nodes,
+                "num_clusters": NUM_CLUSTERS,
+                "queries_per_client": CLIENT_QUERIES,
+                "sequential_faults_per_query": sequential_faults,
+                "sequential_reads_per_query": sequential_reads,
+                "concurrent_faults_per_query": concurrent_faults,
+                "concurrent_reads_per_query": concurrent_reads,
+            }
+        },
+    )
 
     # Acceptance: coalescing concurrent clients must beat serving them
     # one after the other, and answers must match the sequential run.

@@ -194,13 +194,20 @@ class DiskEngine:
         ppv_store: DiskPPVStore,
         delta: float = DEFAULT_DELTA,
         fault_budget: int | None = None,
+        max_iterations: int = 64,
+        kernel: str = "vectorised",
         owns_store: bool = False,
     ) -> None:
         self.graph_store = graph_store
         self.ppv_store = ppv_store
         self._owns_store = owns_store
         self._scalar = DiskFastPPV(
-            graph_store, ppv_store, delta=delta, fault_budget=fault_budget
+            graph_store,
+            ppv_store,
+            delta=delta,
+            fault_budget=fault_budget,
+            max_iterations=max_iterations,
+            kernel=kernel,
         )
         self._batch = self._scalar.batch_engine
 
@@ -271,6 +278,10 @@ def _disk_factory(source, *, graph=None, graph_store=None, **kwargs):
             engine.ppv_store,
             delta=kwargs.pop("delta", engine.delta),
             fault_budget=kwargs.pop("fault_budget", engine.fault_budget),
+            max_iterations=kwargs.pop(
+                "max_iterations", engine.max_iterations
+            ),
+            kernel=kwargs.pop("kernel", engine.kernel),
             **kwargs,
         )
     owns = False

@@ -41,15 +41,22 @@ class CoalescingScheduler:
     ----------
     execute:
         ``execute(jobs)`` — serve a list of admitted jobs.  Called on the
-        drain thread only.  Must not raise (the service's executor
-        converts failures into per-handle errors); if it does anyway,
-        the error is swallowed after marking the drain finished so the
-        scheduler survives.
+        drain thread only.  The service's executor converts failures
+        into per-handle errors itself; if ``execute`` raises anyway, the
+        batch is *not* silently dropped: ``on_error`` (when given) is
+        invoked with the failed batch so every job can be resolved, and
+        the error is re-raised out of the next :meth:`flush` — the
+        scheduler itself survives and keeps draining.
     max_batch:
         Maximum jobs admitted into one drain.
     max_delay:
         Coalescing window in seconds (0 disables the wait: every drain
         takes whatever is queued the moment it wakes).
+    on_error:
+        Optional ``on_error(jobs, error)`` — called on the drain thread
+        when ``execute`` raised, with the batch that failed.  Exceptions
+        it raises itself are suppressed (the original error still
+        surfaces through :meth:`flush`).
     """
 
     def __init__(
@@ -57,20 +64,31 @@ class CoalescingScheduler:
         execute,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: float = DEFAULT_MAX_DELAY,
+        on_error=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_delay < 0:
             raise ValueError("max_delay must be non-negative")
         self._execute = execute
+        self._on_error = on_error
         self.max_batch = max_batch
         self.max_delay = max_delay
         self._cond = threading.Condition()
         self._queue: deque = deque()
         self._thread: threading.Thread | None = None
         self._closed = False
-        self._kicked = False
+        # A kick covers the jobs admitted before it (by admission count):
+        # drains skip the coalescing wait while pre-kick jobs remain, and
+        # the kick expires on its own once they are all popped — it can
+        # neither leak onto later traffic (the pre-fix bug: a stale flag
+        # cleared only on a fully drained queue disabled coalescing for
+        # everything arriving during a long burst) nor strand the tail
+        # of the kicked burst in a fresh max_delay window.
+        self._kick_horizon = 0
+        self._jobs_popped = 0
         self._in_flight = 0
+        self._error: BaseException | None = None
         self.batches_served = 0
         self.largest_batch = 0
         self.jobs_submitted = 0
@@ -105,14 +123,20 @@ class CoalescingScheduler:
             self._cond.notify_all()
 
     def kick(self) -> None:
-        """Close the current coalescing window without waiting.
+        """Close the coalescing window for everything queued so far.
 
-        The next (or in-progress) drain pops the queue immediately
-        instead of holding the batch open for ``max_delay``.
+        Drains pop immediately (no ``max_delay`` hold) until every job
+        admitted before this call has been served — a burst larger than
+        ``max_batch`` goes out back to back — after which the kick
+        expires and later submissions coalesce normally again.
         """
         with self._cond:
-            self._kicked = True
+            self._kick_horizon = max(self._kick_horizon, self.jobs_submitted)
             self._cond.notify_all()
+
+    def _kick_active(self) -> bool:
+        # Called with the lock held: pre-kick jobs still unpopped?
+        return self._jobs_popped < self._kick_horizon
 
     def flush(self, timeout: float | None = None) -> None:
         """Kick and block until every queued job has been served.
@@ -121,10 +145,15 @@ class CoalescingScheduler:
         ------
         TimeoutError
             If the queue did not empty within ``timeout`` seconds.
+        BaseException
+            A pending executor-level failure (an ``execute`` call that
+            raised), re-raised here exactly once instead of being
+            swallowed — the jobs of that batch were already resolved
+            through ``on_error``.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
-            self._kicked = True
+            self._kick_horizon = max(self._kick_horizon, self.jobs_submitted)
             self._cond.notify_all()
             while self._queue or self._in_flight:
                 remaining = None
@@ -132,7 +161,19 @@ class CoalescingScheduler:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise TimeoutError("flush timed out")
+                # Keep the window closed across drains: a flush means
+                # *everything* queued should go out immediately —
+                # extend the kick horizon over late arrivals and wake a
+                # drain that re-entered a coalescing wait between our
+                # wakeups.
+                self._kick_horizon = max(
+                    self._kick_horizon, self.jobs_submitted
+                )
+                self._cond.notify_all()
                 self._cond.wait(remaining)
+            error, self._error = self._error, None
+        if error is not None:
+            raise error
 
     def close(self) -> None:
         """Serve whatever is queued, then stop the drain thread.
@@ -155,12 +196,17 @@ class CoalescingScheduler:
                     self._cond.wait()
                 if not self._queue:
                     return  # closed and drained
-                # Coalescing window: hold the batch open for stragglers.
-                if self.max_delay > 0 and not self._kicked and not self._closed:
+                # Coalescing window: hold the batch open for stragglers
+                # unless an unexpired kick covers queued jobs.
+                if (
+                    self.max_delay > 0
+                    and not self._kick_active()
+                    and not self._closed
+                ):
                     deadline = time.monotonic() + self.max_delay
                     while (
                         len(self._queue) < self.max_batch
-                        and not self._kicked
+                        and not self._kick_active()
                         and not self._closed
                     ):
                         remaining = deadline - time.monotonic()
@@ -170,13 +216,24 @@ class CoalescingScheduler:
                 batch = []
                 while self._queue and len(batch) < self.max_batch:
                     batch.append(self._queue.popleft())
-                if not self._queue:
-                    self._kicked = False
+                # The kick horizon expires by itself as pre-kick jobs
+                # are popped; nothing to reset here.
+                self._jobs_popped += len(batch)
                 self._in_flight += len(batch)
             try:
                 self._execute(batch)
-            except BaseException:  # pragma: no cover - executor guards
-                pass
+            except BaseException as error:
+                # An executor-level failure must not strand the batch:
+                # hand it to on_error so every job gets resolved, and
+                # arm the next flush() to re-raise.
+                if self._on_error is not None:
+                    try:
+                        self._on_error(batch, error)
+                    except BaseException:  # pragma: no cover - last resort
+                        pass
+                with self._cond:
+                    if self._error is None:
+                        self._error = error
             finally:
                 with self._cond:
                     self._in_flight -= len(batch)

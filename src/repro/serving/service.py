@@ -146,7 +146,13 @@ class PPVService:
         self.cache = PopularityCache(cache_size)
         self._cache_token = None
         self._scheduler = CoalescingScheduler(
-            self._serve_jobs, max_batch=max_batch, max_delay=max_delay
+            self._serve_jobs,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            # Second line of defence: if _serve_jobs itself blows through
+            # (its own net failing), the scheduler resolves the batch's
+            # handles instead of silently dropping them.
+            on_error=self._fail_jobs,
         )
         self._submitted = 0
 
@@ -396,11 +402,16 @@ class PPVService:
         try:
             self._serve_jobs_inner(jobs)
         except BaseException as error:
-            for job in jobs:
-                if not job.handle.done():
-                    job.handle._set_error(error)
-                if isinstance(job, _StreamJob):
-                    job.out.put(_STREAM_DONE)
+            self._fail_jobs(jobs, error)
+
+    @staticmethod
+    def _fail_jobs(jobs, error: BaseException) -> None:
+        """Resolve every unresolved handle in ``jobs`` with ``error``."""
+        for job in jobs:
+            if not job.handle.done():
+                job.handle._set_error(error)
+            if isinstance(job, _StreamJob):
+                job.out.put(_STREAM_DONE)
 
     def _serve_jobs_inner(self, jobs) -> None:
         self._refresh_cache_token()

@@ -29,6 +29,22 @@ while amortising the I/O that dominates scalar disk queries:
   :meth:`~repro.storage.ppv_store.DiskPPVStore.get_many` (offset-ordered
   reads): each hub payload is read from disk once per batch, not once
   per query that splices it.
+* The incremental splice rounds of the whole batch run in lock-step
+  through the order-preserving vectorised kernel of
+  :func:`repro.core.splice.splice_rounds_exact` — fetched payloads are
+  assembled into a shared :class:`~repro.core.splice.SpliceBlock` (the
+  same two-matrix lowering the in-memory batch engine builds offline)
+  and each round is two sparse gather-multiply-scatter products over
+  the stacked, delta-gated frontiers.  Unlike the in-memory matmul
+  form, the products accumulate in the scalar loop's exact operation
+  order, so scores stay **bitwise equal** to scalar serving; the
+  historical per-hub dict loop survives as ``kernel="reference"`` (the
+  executable specification, pinned in ``tests/test_disk_batch.py`` and
+  the baseline of ``benchmarks/bench_disk_batch.py``).  The scalar
+  engine runs the same kernel as a batch of one, which also means a
+  hub re-gated in a later round is now served from the query's resident
+  block instead of a repeated physical read (``hub_reads`` still
+  reports the scalar-equivalent fetch count).
 
 Per-query :class:`DiskQueryResult` accounting under batching is
 *deterministic scalar-equivalent* I/O: ``cluster_faults`` counts the
@@ -63,6 +79,7 @@ from repro.core.query import (
     StopAfterIterations,
     StoppingCondition,
 )
+from repro.core.splice import SpliceBlock, splice_rounds_exact
 from repro.core.topk import StopWhenCertified, TopKResult, top_k_result
 from repro.graph.digraph import DiGraph
 from repro.storage.clustering import ClusterAssignment, cluster_graph
@@ -108,11 +125,15 @@ class DiskGraphStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.num_nodes = graph.num_nodes
         self.labels = assignment.labels.copy()
+        self._labels_list: list[int] | None = None
         self.num_clusters = assignment.num_clusters
         self.memory_budget = memory_budget
         self.faults = 0
-        # LRU cache: cluster id -> adjacency dict, most recent last.
-        self._cache: "dict[int, dict[int, tuple[np.ndarray, np.ndarray]]]" = {}
+        # LRU cache: cluster id -> (adjacency dict, per-node list cache),
+        # most recent last.  The list cache holds plain-Python spellings
+        # of adjacency rows for the push's per-edge hot loop; it lives
+        # and dies with its cluster's residency.
+        self._cache: "dict[int, tuple[dict, dict]]" = {}
         self._bytes_per_cluster: list[int] = []
         edge_probabilities = graph.edge_probabilities
         for cluster in range(assignment.num_clusters):
@@ -158,6 +179,14 @@ class DiskGraphStore:
         """Cluster id owning ``node``."""
         return int(self.labels[node])
 
+    @property
+    def labels_list(self) -> list[int]:
+        """``labels`` as a plain list — O(1) lookups without numpy
+        scalar overhead on the push's per-edge hot path."""
+        if self._labels_list is None:
+            self._labels_list = self.labels.tolist()
+        return self._labels_list
+
     def _load_cluster(self, cluster: int) -> dict:
         with np.load(self._cluster_path(cluster)) as data:
             nodes = data["nodes"]
@@ -170,21 +199,32 @@ class DiskGraphStore:
             adjacency[int(node)] = (targets[start:end], probs[start:end])
         return adjacency
 
-    def out_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
-        """``(targets, step probabilities)`` of ``node``, swapping its
-        cluster in (with LRU eviction) if needed."""
-        cluster = self.cluster_of(node)
-        adjacency = self._cache.get(cluster)
-        if adjacency is None:
+    def resident_cluster(self, cluster: int) -> tuple[dict, dict]:
+        """``(adjacency, list cache)`` of ``cluster``, swapping it in
+        (with LRU eviction, bumping :attr:`faults`) if needed.
+
+        The cluster-draining push resolves residency once per drain
+        through this instead of once per expanded node — same fault
+        count (a drain's cluster can only fault on first touch) and the
+        same final LRU state (re-inserting the resident cluster per node
+        was a no-op).
+        """
+        entry = self._cache.get(cluster)
+        if entry is None:
             self.faults += 1
-            adjacency = self._load_cluster(cluster)
+            entry = (self._load_cluster(cluster), {})
             while len(self._cache) >= self.memory_budget:
                 oldest = next(iter(self._cache))
                 del self._cache[oldest]
         else:
             del self._cache[cluster]  # re-insert as most recent
-        self._cache[cluster] = adjacency
-        return adjacency[node]
+        self._cache[cluster] = entry
+        return entry
+
+    def out_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(targets, step probabilities)`` of ``node``, swapping its
+        cluster in (with LRU eviction) if needed."""
+        return self.resident_cluster(self.cluster_of(node))[0][node]
 
     def out_neighbors(self, node: int) -> np.ndarray:
         """Out-neighbours of ``node``, swapping its cluster in if needed."""
@@ -214,6 +254,8 @@ class _PrimePushRun:
         "alpha",
         "epsilon",
         "fault_budget",
+        "reference",
+        "hub_list",
         "scores",
         "border",
         "pools",
@@ -230,12 +272,20 @@ class _PrimePushRun:
         alpha: float,
         epsilon: float,
         fault_budget: int,
+        reference: bool = False,
+        hub_list: "list[bool] | None" = None,
     ) -> None:
         self.graph_store = graph_store
         self.hub_mask = hub_mask
         self.alpha = alpha
         self.epsilon = epsilon
         self.fault_budget = fault_budget
+        self.reference = reference
+        # List-backed hub lookup for the per-edge hot loop (see drain);
+        # the engines pass one shared conversion for the whole batch.
+        self.hub_list: list[bool] = (
+            hub_list if hub_list is not None else hub_mask.tolist()
+        )
         self.scores = np.zeros(graph_store.num_nodes)
         self.border: dict[int, float] = {}
         # Pending *expansion* mass per cluster.  Scoring and border
@@ -294,7 +344,18 @@ class _PrimePushRun:
     def drain(self) -> None:
         """Drain the staged cluster: propagate its resident residual to
         exhaustion — intra-cluster mass bounces without I/O, exported
-        mass is deferred to other pools."""
+        mass is deferred to other pools.
+
+        The hot loop runs on plain Python scalars (pre-listed adjacency,
+        list-backed hub/label lookups) and defers every ``scores[t] +=``
+        into one sequential :func:`numpy.add.at` per drain — ``scores``
+        is never *read* during a drain, and ``np.add.at`` applies its
+        updates in element order, so the deferred flush performs the
+        exact same additions in the exact same order as the historical
+        per-edge loop, which survives as ``reference=True`` (the pre-PR
+        baseline timed by ``benchmarks/bench_disk_batch.py``).  Both
+        variants produce bit-for-bit identical mass flow.
+        """
         cluster, local = self._pending  # type: ignore[misc]
         self._pending = None
         self.drains += 1
@@ -305,47 +366,98 @@ class _PrimePushRun:
         # expanded (LIFO would expand each share almost alone,
         # multiplying the work by the cycle count).
         queue = deque(local)
+        if self.reference:
+            while queue:
+                node = queue.popleft()
+                mass = local.pop(node, 0.0)
+                if mass < epsilon:
+                    continue  # sub-threshold remainder: already scored
+                neighbors, probabilities = graph_store.out_edges(node)
+                for target, probability in zip(neighbors, probabilities):
+                    target = int(target)
+                    share = (1.0 - alpha) * mass * probability
+                    if (
+                        not hub_mask[target]
+                        and graph_store.cluster_of(target) == cluster
+                    ):
+                        # Keep intra-cluster mass local: score it now,
+                        # aggregate the pending expansion.
+                        scores[target] += alpha * share
+                        if target in local:
+                            local[target] += share
+                        else:
+                            local[target] = share
+                            queue.append(target)
+                    else:
+                        self._deposit(target, share)
+            return
+        border, pools = self.border, self.pools
+        hub_list = self.hub_list
+        labels_list = graph_store.labels_list
+        # One residency resolution per drain: every expanded node lives
+        # in the staged cluster, which stays resident throughout.
+        adjacency, adjacency_lists = graph_store.resident_cluster(cluster)
+        score_nodes: list[int] = []
+        score_values: list[float] = []
         while queue:
             node = queue.popleft()
             mass = local.pop(node, 0.0)
             if mass < epsilon:
                 continue  # sub-threshold remainder: already scored
-            neighbors, probabilities = graph_store.out_edges(node)
-            for target, probability in zip(neighbors, probabilities):
-                target = int(target)
-                share = (1.0 - alpha) * mass * probability
-                if not hub_mask[target] and graph_store.cluster_of(target) == cluster:
-                    # Keep intra-cluster mass local: score it now,
-                    # aggregate the pending expansion.
-                    scores[target] += alpha * share
+            row = adjacency_lists.get(node)
+            if row is None:
+                targets_array, probabilities_array = adjacency[node]
+                row = (targets_array.tolist(), probabilities_array.tolist())
+                adjacency_lists[node] = row
+            targets, probabilities = row
+            # ((1 - alpha) * mass) * p per edge: the historical loop's
+            # left-associated product, bit-identical share by share.
+            base = (1.0 - alpha) * mass
+            for target, probability in zip(targets, probabilities):
+                share = base * probability
+                # Every target is scored alpha * share whichever way it
+                # routes; the adds are flushed in this exact order below.
+                score_nodes.append(target)
+                score_values.append(alpha * share)
+                if hub_list[target]:
+                    border[target] = border.get(target, 0.0) + share
+                elif labels_list[target] == cluster:
                     if target in local:
                         local[target] += share
                     else:
                         local[target] = share
                         queue.append(target)
                 else:
-                    self._deposit(target, share)
+                    pool = pools.setdefault(labels_list[target], {})
+                    pool[target] = pool.get(target, 0.0) + share
+        if score_nodes:
+            np.add.at(scores, score_nodes, score_values)
 
 
-def _splice_rounds(
+def _splice_rounds_reference(
     estimate: np.ndarray,
     frontier: dict[int, float],
     stop: StoppingCondition,
     alpha: float,
     delta: float,
+    max_iterations: int,
     fetch: Callable[[int], PrimePPV],
     started: float,
     on_iteration: Callable[[QueryState], None] | None = None,
 ) -> tuple[int, list[float], int, int]:
-    """Algorithm 2's incremental rounds against a hub-fetch function.
+    """Algorithm 2's incremental rounds as the historical per-hub loop.
 
-    Shared by the scalar and batched disk engines; ``fetch`` is either a
-    direct :meth:`DiskPPVStore.get` (one physical read per call) or a
-    per-batch cache over it.  ``on_iteration`` mirrors the in-memory
-    engine's contract — invoked with the :class:`QueryState` once per
-    executed iteration, iteration 0 included — so streaming clients can
-    observe partial estimates from the disk path too.  Returns
-    ``(iterations, error_history, hubs_expanded, requested_reads)`` where
+    This is the disk engines' original dict-based splice kernel, kept as
+    the executable *specification* of the vectorised path: engines built
+    with ``kernel="reference"`` run it, the equivalence suite pins the
+    vectorised :func:`repro.core.splice.splice_rounds_exact` against it
+    bit for bit, and ``benchmarks/bench_disk_batch.py`` times it as the
+    speedup baseline.  ``fetch`` is either a direct
+    :meth:`DiskPPVStore.get` (one physical read per call) or a per-batch
+    cache over it.  ``on_iteration`` mirrors the in-memory engine's
+    contract — invoked with the :class:`QueryState` once per executed
+    iteration, iteration 0 included.  Returns ``(iterations,
+    error_history, hubs_expanded, requested_reads)`` where
     ``requested_reads`` counts fetch calls — the scalar-equivalent read
     cost.
     """
@@ -365,7 +477,7 @@ def _splice_rounds(
 
     if on_iteration is not None:
         on_iteration(current_state())
-    while frontier and iteration < 64:
+    while frontier and iteration < max_iterations:
         if stop.should_stop(current_state()):
             break
         iteration += 1
@@ -389,6 +501,21 @@ def _splice_rounds(
         if on_iteration is not None:
             on_iteration(current_state())
     return iteration, error_history, hubs_expanded, requested_reads
+
+
+_KERNELS = ("vectorised", "reference")
+
+
+def _frontier_arrays(
+    frontier: "dict[int, float] | tuple[np.ndarray, np.ndarray]",
+) -> tuple[np.ndarray, np.ndarray]:
+    """A frontier as ``(hub ids, masses)`` arrays in dict-iteration order."""
+    if isinstance(frontier, tuple):
+        return frontier
+    return (
+        np.fromiter(frontier.keys(), dtype=np.int64, count=len(frontier)),
+        np.fromiter(frontier.values(), dtype=np.float64, count=len(frontier)),
+    )
 
 
 @dataclass
@@ -434,6 +561,17 @@ class DiskFastPPV:
         Prime-subgraph search stops expanding new nodes once this many
         cluster faults occurred within one query; defaults to the number
         of clusters (the paper's robust choice).
+    max_iterations:
+        Hard safety cap on incremental iterations regardless of the
+        stopping condition, matching the in-memory engine's contract
+        (:class:`~repro.core.query.FastPPV`, default 64).
+    kernel:
+        ``"vectorised"`` (default) runs the splice rounds through the
+        order-preserving batch kernel of
+        :func:`repro.core.splice.splice_rounds_exact`;
+        ``"reference"`` runs the historical per-hub dict loop.  Both
+        produce bitwise-identical results — the reference kernel exists
+        as the executable specification and benchmark baseline.
     """
 
     def __init__(
@@ -442,17 +580,22 @@ class DiskFastPPV:
         ppv_store: DiskPPVStore,
         delta: float = DEFAULT_DELTA,
         fault_budget: int | None = None,
+        max_iterations: int = 64,
+        kernel: str = "vectorised",
     ) -> None:
         if graph_store.num_nodes != ppv_store.num_nodes:
             raise ValueError("graph store and PPV store disagree on node count")
+        if kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
         self.graph_store = graph_store
         self.ppv_store = ppv_store
         self.delta = delta
         self.fault_budget = (
             fault_budget if fault_budget is not None else graph_store.num_clusters
         )
+        self.max_iterations = max_iterations
+        self.kernel = kernel
         self._batch_engine: "BatchDiskFastPPV | None" = None
-
     # ------------------------------------------------------------------ #
 
     def _prime_push_on_disk(
@@ -480,6 +623,8 @@ class DiskFastPPV:
             self.ppv_store.alpha,
             self.ppv_store.epsilon,
             self.fault_budget,
+            reference=self.kernel == "reference",
+            hub_list=self.ppv_store.hub_list,
         )
         while run.next_cluster() is not None:
             run.drain()
@@ -517,16 +662,48 @@ class DiskFastPPV:
         else:
             estimate, frontier, truncated = self._prime_push_on_disk(query)
 
-        iteration, error_history, hubs_expanded, requested = _splice_rounds(
-            estimate,
-            frontier,
-            stop,
-            self.ppv_store.alpha,
-            self.delta,
-            self.ppv_store.get,
-            started,
-            on_iteration=on_iteration,
-        )
+        alpha = self.ppv_store.alpha
+        if self.kernel == "reference":
+            iteration, error_history, hubs_expanded, requested = (
+                _splice_rounds_reference(
+                    estimate,
+                    frontier,
+                    stop,
+                    alpha,
+                    self.delta,
+                    self.max_iterations,
+                    self.ppv_store.get,
+                    started,
+                    on_iteration=on_iteration,
+                )
+            )
+        else:
+            block = SpliceBlock(alpha, self.graph_store.num_nodes)
+
+            def ensure(hubs: np.ndarray) -> None:
+                # Offset-ordered sweep, one read per unique hub — the
+                # same reads count as the historical per-hub fetches
+                # (block row order never affects the output).
+                for entry in self.ppv_store.get_many(hubs.tolist()).values():
+                    block.add(entry)
+
+            callback = None
+            if on_iteration is not None:
+                callback = lambda _position, state: on_iteration(state)
+            [(iteration, error_history, hubs_expanded, requested, _)] = (
+                splice_rounds_exact(
+                    estimate.reshape(1, -1),
+                    [_frontier_arrays(frontier)],
+                    stop,
+                    alpha,
+                    self.delta,
+                    self.max_iterations,
+                    block,
+                    ensure,
+                    started,
+                    on_iteration=callback,
+                )
+            )
 
         result = QueryResult(
             query=query,
@@ -552,6 +729,8 @@ class DiskFastPPV:
                 self.ppv_store,
                 delta=self.delta,
                 fault_budget=self.fault_budget,
+                max_iterations=self.max_iterations,
+                kernel=self.kernel,
             )
         return self._batch_engine
 
@@ -587,9 +766,14 @@ class BatchDiskFastPPV:
 
     Amortises the two I/O costs of :class:`DiskFastPPV` across a batch
     (see the module docstring): cluster faults via cluster-grouped prime
-    pushes, hub payload reads via a per-batch fetch cache.  Per-query
-    results are bitwise identical to scalar :meth:`DiskFastPPV.query`
-    calls with the same parameters.
+    pushes, hub payload reads via a per-batch fetch cache.  The splice
+    rounds of the whole batch run in lock-step through the vectorised
+    exact kernel (:func:`repro.core.splice.splice_rounds_exact`): fetched
+    prime PPVs are assembled into a shared
+    :class:`~repro.core.splice.SpliceBlock` and each round becomes two
+    order-preserving sparse products over the stacked, delta-gated
+    frontiers.  Per-query results are bitwise identical to scalar
+    :meth:`DiskFastPPV.query` calls with the same parameters.
 
     Parameters mirror :class:`DiskFastPPV`.
     """
@@ -600,15 +784,21 @@ class BatchDiskFastPPV:
         ppv_store: DiskPPVStore,
         delta: float = DEFAULT_DELTA,
         fault_budget: int | None = None,
+        max_iterations: int = 64,
+        kernel: str = "vectorised",
     ) -> None:
         if graph_store.num_nodes != ppv_store.num_nodes:
             raise ValueError("graph store and PPV store disagree on node count")
+        if kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
         self.graph_store = graph_store
         self.ppv_store = ppv_store
         self.delta = delta
         self.fault_budget = (
             fault_budget if fault_budget is not None else graph_store.num_clusters
         )
+        self.max_iterations = max_iterations
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
 
@@ -618,6 +808,7 @@ class BatchDiskFastPPV:
         next and drains all of them while it is resident, so the batch
         faults each cluster in once per wave instead of once per query."""
         runs: dict[int, _PrimePushRun] = {}
+        hub_list = self.ppv_store.hub_list
         for q in ids:
             if q not in self.ppv_store and q not in runs:
                 runs[q] = _PrimePushRun(
@@ -627,6 +818,8 @@ class BatchDiskFastPPV:
                     self.ppv_store.alpha,
                     self.ppv_store.epsilon,
                     self.fault_budget,
+                    reference=self.kernel == "reference",
+                    hub_list=hub_list,
                 )
         active = dict(runs)
         while active:
@@ -649,6 +842,7 @@ class BatchDiskFastPPV:
         self,
         queries: Sequence[int],
         stop: StoppingCondition | None = None,
+        on_iteration: "Callable[[int, QueryState], None] | None" = None,
     ) -> list[DiskQueryResult]:
         """Estimate the PPVs of ``queries`` from disk, preserving order.
 
@@ -661,6 +855,10 @@ class BatchDiskFastPPV:
         one prime push.  ``stop`` is evaluated per query exactly as in
         the scalar engine (it sees per-query state, including
         ``scores``, so certificate conditions work here too).
+        ``on_iteration`` mirrors the in-memory batch engine's
+        :data:`~repro.core.batch.BatchCallback` contract: invoked as
+        ``on_iteration(position, state)`` once per executed iteration
+        per query, iteration 0 included.
         """
         ids = [int(q) for q in queries]
         for q in ids:
@@ -670,6 +868,7 @@ class BatchDiskFastPPV:
             stop = StopAfterIterations(2)
         started = time.perf_counter()
         alpha = self.ppv_store.alpha
+        num_nodes = self.graph_store.num_nodes
 
         runs = self._grouped_pushes(ids)
 
@@ -694,8 +893,99 @@ class BatchDiskFastPPV:
                     wanted.add(hub)
         fetched.update(self.ppv_store.get_many(wanted))
 
+        if self.kernel == "reference":
+            return self._query_many_reference(
+                ids, stop, started, alpha, runs, fetch, on_iteration
+            )
+
+        # ---- iteration 0: stack every query's estimate and frontier.
+        batch = len(ids)
+        estimates = np.zeros((batch, num_nodes))
+        frontiers: list[tuple[np.ndarray, np.ndarray]] = []
+        hub_reads = [0] * batch
+        cluster_faults = [0] * batch
+        truncated = [False] * batch
+        for position, q in enumerate(ids):
+            if q in self.ppv_store:
+                entry = fetch(q)
+                hub_reads[position] = 1
+                estimates[position, entry.nodes] = entry.scores
+                frontiers.append(
+                    (
+                        entry.border_hubs.astype(np.int64, copy=True),
+                        entry.border_masses.astype(np.float64, copy=True),
+                    )
+                )
+            else:
+                run = runs[q]
+                # Copy into the row: duplicates share the run, and the
+                # splice rounds mutate the estimate in place.
+                estimates[position] = run.scores
+                frontiers.append(_frontier_arrays(run.border))
+                cluster_faults[position] = run.drains
+                truncated[position] = run.truncated
+
+        # ---- incremental rounds: the shared exact kernel, with the
+        # per-batch fetch cache feeding a shared SpliceBlock.
+        block = SpliceBlock(alpha, num_nodes)
+
+        def ensure(hubs: np.ndarray) -> None:
+            absent = [
+                int(hub) for hub in hubs.tolist() if hub not in fetched
+            ]
+            if absent:
+                fetched.update(self.ppv_store.get_many(absent))
+            for hub in hubs.tolist():
+                block.add(fetched[hub])
+
+        rounds = splice_rounds_exact(
+            estimates,
+            frontiers,
+            stop,
+            alpha,
+            self.delta,
+            self.max_iterations,
+            block,
+            ensure,
+            started,
+            on_iteration=on_iteration,
+        )
+
+        return [
+            DiskQueryResult(
+                result=QueryResult(
+                    query=q,
+                    # Copy out of the shared batch matrix so one retained
+                    # result cannot pin the whole (batch, n) buffer.
+                    scores=estimates[position].copy(),
+                    iterations=iteration,
+                    error_history=error_history,
+                    hubs_expanded=hubs_expanded,
+                    seconds=seconds,
+                ),
+                cluster_faults=cluster_faults[position],
+                hub_reads=hub_reads[position] + requested,
+                truncated=truncated[position],
+            )
+            for position, (
+                q,
+                (iteration, error_history, hubs_expanded, requested, seconds),
+            ) in enumerate(zip(ids, rounds))
+        ]
+
+    def _query_many_reference(
+        self,
+        ids: list[int],
+        stop: StoppingCondition,
+        started: float,
+        alpha: float,
+        runs: "dict[int, _PrimePushRun]",
+        fetch: Callable[[int], PrimePPV],
+        on_iteration: "Callable[[int, QueryState], None] | None",
+    ) -> list[DiskQueryResult]:
+        """The historical per-query dict-loop rounds (benchmark baseline)."""
         results: list[DiskQueryResult] = []
-        for q in ids:
+        for position, q in enumerate(ids):
             hub_reads = 0
             if q in self.ppv_store:
                 entry = fetch(q)
@@ -708,14 +998,29 @@ class BatchDiskFastPPV:
                 truncated = False
             else:
                 run = runs[q]
-                # Copy: duplicates share the run, and the splice rounds
-                # mutate the estimate in place.
                 estimate = run.scores.copy()
                 frontier = dict(run.border)
                 cluster_faults = run.drains
                 truncated = run.truncated
-            iteration, error_history, hubs_expanded, requested = _splice_rounds(
-                estimate, frontier, stop, alpha, self.delta, fetch, started
+            callback = None
+            if on_iteration is not None:
+                callback = (
+                    lambda state, _position=position: on_iteration(
+                        _position, state
+                    )
+                )
+            iteration, error_history, hubs_expanded, requested = (
+                _splice_rounds_reference(
+                    estimate,
+                    frontier,
+                    stop,
+                    alpha,
+                    self.delta,
+                    self.max_iterations,
+                    fetch,
+                    started,
+                    on_iteration=callback,
+                )
             )
             results.append(
                 DiskQueryResult(

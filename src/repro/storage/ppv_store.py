@@ -102,6 +102,7 @@ class DiskPPVStore:
         hub_mask = np.zeros(self.num_nodes, dtype=bool)
         hub_mask[list(self._directory)] = True
         self.hub_mask = hub_mask
+        self._hub_list: "list[bool] | None" = None
 
     def __enter__(self) -> "DiskPPVStore":
         return self
@@ -121,6 +122,15 @@ class DiskPPVStore:
     def hubs(self) -> np.ndarray:
         """Sorted hub ids available in the store."""
         return np.asarray(sorted(self._directory), dtype=np.int64)
+
+    @property
+    def hub_list(self) -> list[bool]:
+        """``hub_mask`` as a plain list — O(1) lookups without numpy
+        scalar overhead on the disk push's per-edge hot path (the twin
+        of :attr:`DiskGraphStore.labels_list`)."""
+        if self._hub_list is None:
+            self._hub_list = self.hub_mask.tolist()
+        return self._hub_list
 
     def get(self, hub: int) -> PrimePPV:
         """Fetch one hub's prime PPV from disk (one seek + read)."""

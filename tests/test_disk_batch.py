@@ -134,6 +134,173 @@ class TestEquality:
         np.testing.assert_array_equal(results[0].scores, reference.scores)
 
 
+class TestKernels:
+    """The vectorised splice path against the retained reference kernel
+    (the pre-PR per-hub loop): bit-for-bit equality everywhere."""
+
+    @pytest.mark.parametrize(
+        "stop",
+        [
+            StopAfterIterations(2),
+            StopAfterIterations(6),
+            StopAtL1Error(1e-5),
+        ],
+    )
+    @pytest.mark.parametrize("delta", [0.0, 0.005])
+    def test_vectorised_matches_reference_bitwise(
+        self, disk_batch_setup, small_social, stop, delta
+    ):
+        _, _, _, queries = disk_batch_setup
+        reference_results = []
+        for i, q in enumerate(queries):
+            _, ppv_store, engine = _fresh_engine(
+                small_social, disk_batch_setup, f"kr_{stop}_{delta}_{i}",
+                DiskFastPPV, delta=delta, kernel="reference",
+            )
+            with ppv_store:
+                reference_results.append(engine.query(q, stop=stop))
+        # Vectorised scalar engine.
+        for i, q in enumerate(queries):
+            _, ppv_store, engine = _fresh_engine(
+                small_social, disk_batch_setup, f"kv_{stop}_{delta}_{i}",
+                DiskFastPPV, delta=delta,
+            )
+            with ppv_store:
+                vectorised = engine.query(q, stop=stop)
+            reference = reference_results[i]
+            np.testing.assert_array_equal(
+                reference.scores, vectorised.scores
+            )
+            assert (
+                reference.result.error_history
+                == vectorised.result.error_history
+            )
+            assert reference.result.iterations == vectorised.result.iterations
+            assert reference.hub_reads == vectorised.hub_reads
+            assert reference.cluster_faults == vectorised.cluster_faults
+        # Vectorised batch engine.
+        _, ppv_store, batch = _fresh_engine(
+            small_social, disk_batch_setup, f"kb_{stop}_{delta}",
+            BatchDiskFastPPV, delta=delta,
+        )
+        with ppv_store:
+            batched = batch.query_many(queries, stop=stop)
+        for reference, result in zip(reference_results, batched):
+            np.testing.assert_array_equal(reference.scores, result.scores)
+            assert (
+                reference.result.error_history
+                == result.result.error_history
+            )
+            assert reference.hub_reads == result.hub_reads
+
+    def test_invalid_kernel_rejected(self, disk_batch_setup, small_social):
+        with pytest.raises(ValueError, match="kernel"):
+            _fresh_engine(
+                small_social, disk_batch_setup, "bad_kernel", DiskFastPPV,
+                kernel="gpu",
+            )
+        with pytest.raises(ValueError, match="kernel"):
+            _fresh_engine(
+                small_social, disk_batch_setup, "bad_kernel_b",
+                BatchDiskFastPPV, kernel="gpu",
+            )
+
+    def test_batch_engine_inherits_kernel(self, disk_batch_setup,
+                                          small_social):
+        _, ppv_store, engine = _fresh_engine(
+            small_social, disk_batch_setup, "inherit", DiskFastPPV,
+            kernel="reference", max_iterations=7,
+        )
+        with ppv_store:
+            batch = engine.batch_engine
+        assert batch.kernel == "reference"
+        assert batch.max_iterations == 7
+
+    def test_serving_adapter_carries_kernel_and_cap(self, disk_batch_setup,
+                                                    small_social):
+        from repro.serving import PPVService
+
+        _, ppv_store, engine = _fresh_engine(
+            small_social, disk_batch_setup, "adapter", DiskFastPPV,
+            kernel="reference", max_iterations=7,
+        )
+        with ppv_store:
+            with PPVService.open(engine) as service:
+                assert service.engine._scalar.kernel == "reference"
+                assert service.engine._scalar.max_iterations == 7
+                assert service.engine._batch.kernel == "reference"
+
+    def test_batch_on_iteration_counts(self, disk_batch_setup,
+                                       small_social):
+        # The new BatchCallback contract on the disk batch engine: one
+        # invocation per executed iteration per query, iteration 0
+        # included, keyed by batch position.
+        _, _, _, queries = disk_batch_setup
+        workload = queries[:4]
+        _, ppv_store, batch = _fresh_engine(
+            small_social, disk_batch_setup, "cb", BatchDiskFastPPV,
+            delta=0.0,
+        )
+        seen: dict[int, list[int]] = {}
+        with ppv_store:
+            results = batch.query_many(
+                workload,
+                stop=StopAfterIterations(2),
+                on_iteration=lambda position, state: seen.setdefault(
+                    position, []
+                ).append(state.iteration),
+            )
+        for position, result in enumerate(results):
+            assert seen[position] == list(
+                range(result.result.iterations + 1)
+            )
+
+
+class TestMaxIterations:
+    def test_cap_respected_like_memory_engine(self, disk_batch_setup,
+                                              small_social,
+                                              small_social_index):
+        # An unreachable accuracy target must stop at max_iterations on
+        # every engine — the disk path used to hardcode 64.
+        _, _, _, queries = disk_batch_setup
+        non_hub = queries[1]
+        unreachable = StopAtL1Error(0.0)
+        memory = FastPPV(
+            small_social, small_social_index, delta=0.0, max_iterations=3
+        )
+        memory_result = memory.query(non_hub, stop=unreachable)
+        assert memory_result.iterations == 3
+        _, scalar_ppv, scalar = _fresh_engine(
+            small_social, disk_batch_setup, "cap_s", DiskFastPPV,
+            delta=0.0, max_iterations=3,
+        )
+        _, batch_ppv, batch = _fresh_engine(
+            small_social, disk_batch_setup, "cap_b", BatchDiskFastPPV,
+            delta=0.0, max_iterations=3,
+        )
+        _, ref_ppv, reference = _fresh_engine(
+            small_social, disk_batch_setup, "cap_r", DiskFastPPV,
+            delta=0.0, max_iterations=3, kernel="reference",
+        )
+        with scalar_ppv, batch_ppv, ref_ppv:
+            scalar_result = scalar.query(non_hub, stop=unreachable)
+            (batch_result,) = batch.query_many(
+                [non_hub], stop=unreachable
+            )
+            reference_result = reference.query(non_hub, stop=unreachable)
+        assert scalar_result.result.iterations == 3
+        assert batch_result.result.iterations == 3
+        assert reference_result.result.iterations == 3
+
+    def test_default_cap_matches_memory_default(self, disk_batch_setup,
+                                                small_social):
+        _, ppv_store, engine = _fresh_engine(
+            small_social, disk_batch_setup, "cap_default", DiskFastPPV
+        )
+        ppv_store.close()
+        assert engine.max_iterations == 64  # repro.core.query default
+
+
 class TestAmortisation:
     def test_batch16_faults_below_16x_single(
         self, disk_batch_setup, small_social

@@ -1,0 +1,199 @@
+"""CoalescingScheduler unit behaviour: executor-failure propagation
+(no silently dropped batches) and per-window kick semantics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.scheduler import CoalescingScheduler
+
+
+class TestExecutorFailure:
+    def test_on_error_receives_the_failed_batch(self):
+        failed: list[tuple[list, BaseException]] = []
+
+        def execute(jobs):
+            raise RuntimeError("executor exploded")
+
+        scheduler = CoalescingScheduler(
+            execute,
+            max_delay=0.0,
+            on_error=lambda jobs, error: failed.append((jobs, error)),
+        )
+        try:
+            scheduler.submit_many(["a", "b"])
+            with pytest.raises(RuntimeError, match="executor exploded"):
+                scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+        assert len(failed) == 1
+        jobs, error = failed[0]
+        assert jobs == ["a", "b"]
+        assert isinstance(error, RuntimeError)
+
+    def test_flush_reraises_without_on_error(self):
+        def execute(jobs):
+            raise ValueError("no net")
+
+        scheduler = CoalescingScheduler(execute, max_delay=0.0)
+        try:
+            scheduler.submit("job")
+            with pytest.raises(ValueError, match="no net"):
+                scheduler.flush(timeout=5)
+            # The error is reported exactly once; the scheduler survives.
+            scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+
+    def test_scheduler_keeps_draining_after_a_failure(self):
+        served: list = []
+
+        def execute(jobs):
+            if "poison" in jobs:
+                raise RuntimeError("poisoned batch")
+            served.extend(jobs)
+
+        scheduler = CoalescingScheduler(execute, max_delay=0.0)
+        try:
+            scheduler.submit("poison")
+            with pytest.raises(RuntimeError):
+                scheduler.flush(timeout=5)
+            scheduler.submit("healthy")
+            scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+        assert served == ["healthy"]
+
+    def test_on_error_exception_does_not_mask_the_cause(self):
+        def execute(jobs):
+            raise RuntimeError("root cause")
+
+        def bad_on_error(jobs, error):
+            raise ZeroDivisionError("handler broke too")
+
+        scheduler = CoalescingScheduler(
+            execute, max_delay=0.0, on_error=bad_on_error
+        )
+        try:
+            scheduler.submit("job")
+            with pytest.raises(RuntimeError, match="root cause"):
+                scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+
+
+class TestKickWindow:
+    def test_kicked_burst_drains_back_to_back(self):
+        """One kick covers the whole burst queued before it: a burst
+        longer than ``max_batch`` must not sit through a fresh
+        ``max_delay`` window for its tail batch (the query_many shape:
+        submit burst, kick once, wait on the handles)."""
+        served = threading.Event()
+        count = [0]
+
+        def execute(jobs):
+            count[0] += len(jobs)
+            if count[0] == 6:
+                served.set()
+
+        scheduler = CoalescingScheduler(execute, max_batch=4, max_delay=2.0)
+        try:
+            started = time.monotonic()
+            scheduler.submit_many([1, 2, 3, 4, 5, 6])
+            scheduler.kick()
+            assert served.wait(timeout=5)
+            elapsed = time.monotonic() - started
+        finally:
+            scheduler.close()
+        # Both windows ([1-4] and [5, 6]) drain immediately — well under
+        # the 2s coalescing delay a stranded tail window would pay.
+        assert elapsed < 1.0, f"kicked burst took {elapsed:.2f}s"
+
+    def test_kick_does_not_leak_onto_later_traffic(self):
+        """A kick expires once the jobs it covered are served; traffic
+        submitted after it must coalesce normally again (pre-fix, the
+        stale flag was cleared only when the queue fully drained, so a
+        kick during a busy burst disabled coalescing for everything
+        arriving meanwhile)."""
+        batches: list[list] = []
+        release_a = threading.Event()
+
+        def execute(jobs):
+            batches.append(list(jobs))
+            if jobs[0] == "a":
+                release_a.wait(timeout=5)
+
+        def wait_for_batches(n):
+            deadline = time.monotonic() + 5
+            while len(batches) < n and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(batches) >= n
+
+        scheduler = CoalescingScheduler(execute, max_batch=2, max_delay=30.0)
+        try:
+            scheduler.submit("a")
+            scheduler.kick()
+            wait_for_batches(1)  # the drain is now blocked inside "a"
+            # Queued while "a" executes: a kicked pair plus one straggler
+            # submitted *after* the kick — the queue is never empty
+            # between the pops, which is exactly where the pre-fix flag
+            # stayed stale.
+            scheduler.submit_many(["b", "x"])
+            scheduler.kick()
+            scheduler.submit("c")
+            release_a.set()
+            wait_for_batches(2)  # [b, x] goes out back to back
+            time.sleep(0.2)
+            # c was submitted after the kick: it must be held open in a
+            # coalescing window, not drained immediately.
+            assert batches == [["a"], ["b", "x"]]
+            scheduler.kick()
+            scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+        assert batches == [["a"], ["b", "x"], ["c"]]
+
+    def test_flush_is_not_stalled_by_reopened_windows(self):
+        # A flush over more jobs than max_batch must not let the drain
+        # re-enter a full max_delay coalescing wait between batches: the
+        # in-loop kick has to wake the drain, not just set the flag.
+        batches: list[list] = []
+
+        scheduler = CoalescingScheduler(
+            lambda jobs: batches.append(list(jobs)),
+            max_batch=2,
+            max_delay=2.0,
+        )
+        try:
+            scheduler.submit_many([1, 2, 3])
+            scheduler.flush(timeout=1.0)  # pre-fix: TimeoutError
+        finally:
+            scheduler.close()
+        assert sorted(sum(batches, [])) == [1, 2, 3]
+
+    def test_kick_during_execute_closes_the_next_window(self):
+        release = threading.Event()
+        batches: list[list] = []
+
+        def execute(jobs):
+            batches.append(list(jobs))
+            if len(batches) == 1:
+                release.wait(timeout=5)
+
+        scheduler = CoalescingScheduler(execute, max_batch=4, max_delay=30.0)
+        try:
+            scheduler.submit("first")
+            scheduler.kick()  # close window one
+            deadline = time.monotonic() + 5
+            while not batches and time.monotonic() < deadline:
+                time.sleep(0.005)
+            scheduler.submit("second")
+            scheduler.kick()  # arrives while execute runs
+            release.set()
+            scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+        assert batches == [["first"], ["second"]]

@@ -367,6 +367,24 @@ class TestCoalescing:
             with pytest.raises(RuntimeError, match="token broke"):
                 handle.result(timeout=5)
 
+    def test_drain_level_failure_resolves_handles_and_flush_raises(
+            self, small_social, small_social_index):
+        # If the drain callback itself dies (beyond the service's own
+        # net), the scheduler's on_error must resolve the batch's
+        # handles and flush() must re-raise instead of swallowing.
+        with PPVService.open(
+            small_social_index, graph=small_social, max_delay=10.0,
+        ) as service:
+            def exploding(jobs):
+                raise RuntimeError("drain died")
+
+            service._scheduler._execute = exploding
+            handle = service.submit(QuerySpec(3, stop=STOP))
+            with pytest.raises(RuntimeError, match="drain died"):
+                service.flush(timeout=5)
+            with pytest.raises(RuntimeError, match="drain died"):
+                handle.result(timeout=5)
+
     def test_submit_after_close_raises(self, small_social,
                                        small_social_index):
         service = PPVService.open(small_social_index, graph=small_social)
@@ -443,6 +461,81 @@ class TestStreaming:
                 snapshots = list(service.stream(QuerySpec(9, stop=STOP)))
         assert [s.iteration for s in snapshots] == list(range(len(snapshots)))
         assert snapshots[-1].l1_error <= snapshots[0].l1_error
+
+    def test_disk_snapshots_match_scalar_on_iteration(self, disk_setup):
+        # The streamed sequence is exactly the scalar disk engine's
+        # on_iteration contract: one snapshot per executed iteration,
+        # iteration 0 included, bitwise-equal states.
+        root, graph, assignment, index_path = disk_setup
+        store = DiskGraphStore(graph, assignment, root / "stream_eq")
+        with DiskPPVStore(index_path) as ppv_store:
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0
+            ) as service:
+                snapshots = list(service.stream(QuerySpec(4, stop=STOP)))
+        states = []
+        reference_store = DiskGraphStore(
+            graph, assignment, root / "stream_eq_ref"
+        )
+        with DiskPPVStore(index_path) as ppv_store:
+            scalar = DiskFastPPV(reference_store, ppv_store, delta=0.0)
+            reference = scalar.query(
+                4,
+                stop=STOP,
+                on_iteration=lambda s: states.append(
+                    (s.iteration, s.l1_error, s.frontier_size)
+                ),
+            )
+        assert len(snapshots) == reference.result.iterations + 1
+        assert len(snapshots) == len(states)
+        assert [s.iteration for s in snapshots] == [s[0] for s in states]
+        assert [s.l1_error for s in snapshots] == [s[1] for s in states]
+        assert [s.frontier_size for s in snapshots] == [
+            s[2] for s in states
+        ]
+        np.testing.assert_array_equal(
+            snapshots[-1].scores, reference.scores
+        )
+
+    def test_disk_stream_with_truncated_prime_push(self, disk_setup):
+        # A fault-budget-truncated query still streams its snapshots,
+        # and the served result carries truncated=True.
+        root, graph, assignment, index_path = disk_setup
+        store = DiskGraphStore(graph, assignment, root / "stream_trunc")
+        with DiskPPVStore(index_path) as ppv_store:
+            non_hub = next(
+                q for q in range(graph.num_nodes) if q not in ppv_store
+            )
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0, fault_budget=1,
+                cache_size=0,
+            ) as service:
+                snapshots = list(
+                    service.stream(QuerySpec(non_hub, stop=STOP))
+                )
+                result = service.query(QuerySpec(non_hub, stop=STOP))
+        assert result.truncated
+        assert len(snapshots) == result.result.iterations + 1
+        np.testing.assert_array_equal(snapshots[-1].scores, result.scores)
+
+    def test_disk_top_k_certificate_streams(self, disk_setup, small_social,
+                                            tmp_path):
+        # Certificates need unclipped prime PPVs; rebuild and stream a
+        # top-k spec on the disk backend.
+        from repro import build_index as _build_index
+        root, graph, assignment, index_path = disk_setup
+        with DiskPPVStore(index_path) as existing:
+            hubs = [int(h) for h in np.nonzero(existing.hub_mask)[0][:40]]
+        index = _build_index(small_social, hubs, clip=0.0, epsilon=1e-6)
+        path = tmp_path / "unclipped.fppv"
+        save_index(index, path)
+        store = DiskGraphStore(graph, assignment, tmp_path / "cert")
+        with DiskPPVStore(path) as ppv_store:
+            with PPVService.open(
+                ppv_store, graph_store=store, delta=0.0
+            ) as service:
+                snapshots = list(service.stream(QuerySpec(7, top_k=3)))
+        assert all(s.certified is not None for s in snapshots)
 
 
 class TestMultiNodeSpecs:
