@@ -1,0 +1,314 @@
+"""Network serving: clients-vs-throughput, single vs multi-worker.
+
+Three configurations serve the same unique-node query list (distinct
+nodes, so neither the popularity cache nor the engine LRU flatters any
+configuration):
+
+* **sequential** — the single-process ``serve`` loop's interactive
+  shape: one client, one request in flight at a time, straight into the
+  service (no transport).  This is the baseline the acceptance claim is
+  measured against.
+* **tcp x1** — the asyncio TCP server (one process) under 1..8
+  concurrent client connections, each pipelining a small window of
+  requests (``PIPELINE_WINDOW``); concurrent clients coalesce into
+  shared engine batches through the scheduler.
+* **tcp xN** — the pre-fork worker pool (``--workers N``) under the
+  same client load, launched through the real CLI in a subprocess.
+
+The acceptance claim (ISSUE 5): network serving >= 2x the sequential
+single-process loop at the default reduced scale, with the multi-worker
+row held to that bar wherever the host has >= 2 CPUs for the workers to
+scale onto.  On a single-CPU host pre-fork workers cannot beat one
+async process (they only split the coalescing windows and add scheduler
+pressure — the table records the measured penalty honestly); the >= 2x
+claim is then carried by the concurrent-client configurations, which
+clear it through coalescing + pipelining alone.
+
+Emits ``BENCH_server.json`` (merged, scale-stamped) via
+``benchmarks.common.emit_json``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_SCALE, emit, emit_json
+from repro import StopAfterIterations, build_index, select_hubs, social_graph
+from repro.experiments.report import Table
+from repro.graph.io import write_edge_list
+from repro.server import PPVClient
+from repro.serving import PPVService, QuerySpec
+from repro.storage import save_index
+
+DELTA = 1e-4
+CLIENTS = 8
+MULTI_CLIENTS = 16
+"""The multi-worker row is driven with more clients: a worker pool is
+deployed for aggregate traffic, and each worker needs enough concurrent
+connections to fill its coalescing windows."""
+ETA = 2
+PIPELINE_WINDOW = 8
+"""Outstanding requests per client connection.  Heavy-traffic clients
+pipeline; a small window keeps per-request latency honest while letting
+consecutive queries amortise the round-trip."""
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    num_nodes = max(1000, int(4000 * BENCH_SCALE))
+    num_hubs = max(100, int(400 * BENCH_SCALE))
+    graph = social_graph(num_nodes=num_nodes, seed=11)
+    hubs = select_hubs(graph, num_hubs=num_hubs)
+    index = build_index(graph, hubs, epsilon=1e-6)
+    rng = np.random.default_rng(7)
+    # Two disjoint unique-node sets: every configuration runs twice
+    # (best-of, against shared-host scheduler noise) without the second
+    # pass hitting the popularity cache.
+    num_queries = min(num_nodes // 2, max(64, int(1280 * BENCH_SCALE)))
+    pool = rng.choice(graph.num_nodes, size=2 * num_queries, replace=False)
+    query_sets = [
+        [int(q) for q in pool[:num_queries]],
+        [int(q) for q in pool[num_queries:]],
+    ]
+    root = tmp_path_factory.mktemp("bench_server")
+    graph_path = root / "graph.txt"
+    index_path = root / "index.fppv"
+    write_edge_list(graph, graph_path)
+    save_index(index, index_path)
+    return graph, index, query_sets, graph_path, index_path
+
+
+def _sequential_qps(graph, index, query_sets) -> float:
+    """One request in flight at a time — the stdio loop's interactive
+    shape and the acceptance baseline.  Best of the query sets, like
+    every other configuration."""
+    best = 0.0
+    with PPVService.open(
+        index, graph=graph, delta=DELTA, cache_size=0
+    ) as service:
+        service.warm()
+        stop = StopAfterIterations(ETA)
+        for queries in query_sets:
+            started = time.perf_counter()
+            for node in queries:
+                service.query(QuerySpec(node, stop=stop))
+            elapsed = time.perf_counter() - started
+            best = max(best, len(queries) / elapsed)
+    return best
+
+
+def _drive_clients_best(address, query_sets, clients: int) -> float:
+    """Best over the disjoint query sets (shared-host scheduler noise)."""
+    return max(
+        _drive_clients(address, queries, clients)
+        for queries in query_sets
+    )
+
+
+def _drive_clients(address, queries, clients: int) -> float:
+    """Split ``queries`` across ``clients`` concurrent connections;
+    returns queries/sec over the slowest-client wall-clock."""
+    shares = [queries[k::clients] for k in range(clients)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client_main(share) -> None:
+        try:
+            with PPVClient(*address) as client:
+                barrier.wait(timeout=30)
+                client.query_many(
+                    share, window=PIPELINE_WINDOW, eta=ETA, top=5
+                )
+        except BaseException as error:  # pragma: no cover - diagnostics
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_main, args=(share,))
+        for share in shares
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return len(queries) / elapsed
+
+
+def _spawn_cli_server(graph_path, index_path, workers: int):
+    """Launch ``repro serve --tcp 127.0.0.1:0 --workers N`` for real."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = (
+        src
+        if not env.get("PYTHONPATH")
+        else f"{src}{os.pathsep}{env['PYTHONPATH']}"
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            str(graph_path), str(index_path),
+            "--tcp", "127.0.0.1:0", "--workers", str(workers),
+            "--delta", str(DELTA), "--max-delay", "auto",
+            "--cache-size", "0",
+        ],
+        stderr=subprocess.PIPE,
+        env=env,
+    )
+    banner = process.stderr.readline().decode()
+    if "serving" not in banner:  # pragma: no cover - startup failure
+        process.kill()
+        raise RuntimeError(f"server failed to start: {banner!r}")
+    host, port = banner.split(" on ")[1].split(" ")[0].split(":")
+    address = (host, int(port))
+    # Wait until a worker actually answers (workers build engines lazily
+    # after the fork).
+    deadline = time.monotonic() + 60
+    while True:
+        try:
+            with PPVClient(*address, timeout=5) as probe:
+                if probe.ping():
+                    break
+        except OSError:
+            if time.monotonic() > deadline:  # pragma: no cover
+                process.kill()
+                raise
+            time.sleep(0.05)
+    return process, address
+
+
+def _warm_workers(address, workers: int, queries) -> None:
+    """Touch every worker so lazy one-off state (engine construction,
+    the matrix lowering) is built outside the timed region.
+
+    Warm-up queries use ``eta=1`` — a different stop condition than the
+    measured pass, so nothing lands in the popularity cache the timed
+    queries could hit.
+    """
+    seen: set[int] = set()
+    deadline = time.monotonic() + 120
+    while len(seen) < workers and time.monotonic() < deadline:
+        with PPVClient(*address) as client:
+            pid = client.stats()["worker"]["pid"]
+            if pid not in seen:
+                seen.add(pid)
+                for node in queries[:8]:
+                    client.query(node, eta=1, top=5)
+    if len(seen) < workers:  # pragma: no cover - diagnostics
+        raise RuntimeError(f"warmed only {len(seen)}/{workers} workers")
+
+
+def _stop_cli_server(process) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=60)
+    except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+        process.kill()
+        process.wait(timeout=10)
+
+
+def test_server_throughput(setup):
+    graph, index, query_sets, graph_path, index_path = setup
+    multi_workers = min(4, max(2, os.cpu_count() or 1))
+
+    sequential = _sequential_qps(graph, index, query_sets)
+
+    rows = [("sequential serve loop", 1, 1, sequential, 1.0)]
+    tcp_by_clients: dict[str, float] = {}
+    process, address = _spawn_cli_server(graph_path, index_path, workers=1)
+    try:
+        _warm_workers(address, 1, query_sets[0])
+        for clients in (1, 2, 4, CLIENTS, MULTI_CLIENTS):
+            qps = _drive_clients_best(address, query_sets, clients)
+            tcp_by_clients[str(clients)] = qps
+            rows.append(
+                (f"tcp 1 worker, {clients} clients", 1, clients, qps,
+                 qps / sequential)
+            )
+    finally:
+        _stop_cli_server(process)
+
+    process, address = _spawn_cli_server(
+        graph_path, index_path, workers=multi_workers
+    )
+    try:
+        _warm_workers(address, multi_workers, query_sets[0])
+        multi_qps = _drive_clients_best(address, query_sets, MULTI_CLIENTS)
+    finally:
+        _stop_cli_server(process)
+    multi_speedup = multi_qps / sequential
+    rows.append(
+        (f"tcp {multi_workers} workers, {MULTI_CLIENTS} clients",
+         multi_workers, MULTI_CLIENTS, multi_qps, multi_speedup)
+    )
+
+    table = Table(
+        title=(
+            f"Network serving throughput ({graph.num_nodes} nodes, "
+            f"{index.num_hubs} hubs, eta={ETA}, "
+            f"{len(query_sets[0])} unique queries/pass, "
+            f"{os.cpu_count()} cpu)"
+        ),
+        headers=["configuration", "workers", "clients", "queries/s",
+                 "vs sequential"],
+        rows=[
+            [name, workers, clients, f"{qps:.0f}", f"{speedup:.2f}x"]
+            for name, workers, clients, qps, speedup in rows
+        ],
+    )
+    emit("bench_server", table)
+    emit_json(
+        "server",
+        {
+            "server": {
+                "cpu_count": os.cpu_count(),
+                "num_queries": len(query_sets[0]),
+                "eta": ETA,
+                "pipeline_window": PIPELINE_WINDOW,
+                "sequential_qps": sequential,
+                "tcp_single_worker_qps_by_clients": tcp_by_clients,
+                "multi_worker": {
+                    "workers": multi_workers,
+                    "clients": MULTI_CLIENTS,
+                    "qps": multi_qps,
+                },
+                "speedup_multi_vs_sequential": multi_speedup,
+                "speedup_best_tcp_vs_sequential": (
+                    max([multi_qps, *tcp_by_clients.values()]) / sequential
+                ),
+            }
+        },
+    )
+
+    # Acceptance: network serving must clear 2x the sequential
+    # single-process loop at the default scale.  Concurrent TCP clients
+    # carry that through coalescing + pipelining on any hardware; the
+    # *multi-worker* row is additionally held to the bar when the host
+    # has cores for the workers to scale onto — on a single-CPU host
+    # pre-fork workers only add scheduling pressure (measured here:
+    # ~0.65x the single async process, while still beating the
+    # sequential loop), so there the floor is the weaker invariant.
+    best_tcp = max([multi_qps, *tcp_by_clients.values()])
+    cpus = os.cpu_count() or 1
+    if BENCH_SCALE >= 0.4:
+        assert best_tcp >= 2.0 * sequential, (
+            f"best TCP config {best_tcp:.0f} q/s below 2x the sequential "
+            f"loop ({sequential:.0f} q/s)"
+        )
+    multi_floor = 2.0 if (BENCH_SCALE >= 0.4 and cpus >= 2) else 1.0
+    assert multi_speedup >= multi_floor, (
+        f"multi-worker speedup {multi_speedup:.2f}x below {multi_floor}x "
+        f"(sequential {sequential:.0f} q/s, multi {multi_qps:.0f} q/s, "
+        f"{cpus} cpu)"
+    )

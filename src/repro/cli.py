@@ -10,16 +10,19 @@ The subcommands cover the offline/online lifecycle end to end::
     repro query graph.txt graph.fppv 42 7 19 --top-k 10
     repro disk-query graph.txt graph.fppv 42 7 19 --clusters 12
     repro serve graph.txt graph.fppv --requests requests.jsonl
+    repro serve graph.txt graph.fppv --tcp 127.0.0.1:7474 --workers 4
     repro autotune graph.txt
 
 All online subcommands run through the :class:`~repro.serving.PPVService`
 façade: ``query`` and ``disk-query`` submit their nodes as one burst (so
 multi-node invocations coalesce into the batched sparse-matrix / cluster
 -grouped disk engines automatically), and ``serve`` keeps a service open
-over a JSONL request loop — each input line is a request (single- or
-multi-node, plain or certified top-k), responses are emitted as JSONL in
-request order at every blank line or at end of input, and concurrent
-batches share the scheduler's coalescing and popularity cache.  ``query
+over a JSONL request loop — on stdin/stdout by default (each input line
+is a request, responses are emitted in request order at every blank
+line or at end of input), or over the network with ``--tcp HOST:PORT``
+(the :mod:`repro.server` asyncio front-end; add ``--workers N`` to
+pre-fork N serving processes sharing the port).  Concurrent batches
+share the scheduler's coalescing and popularity cache either way.  ``query
 --top-k K`` switches to certified top-k serving: each query runs until
 its top set is provably exact.  ``disk-query`` replays the Sect. 5.3
 reduced-memory deployment (cluster-segmented graph, on-disk PPV index)
@@ -32,7 +35,6 @@ the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import sys
 import tempfile
@@ -358,24 +360,58 @@ def _cmd_disk_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_max_delay(value: str):
+    """``--max-delay`` accepts seconds or the adaptive ``auto`` mode."""
+    if value == "auto":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds or 'auto', got {value!r}"
+        ) from None
+
+
 def _add_serve(subparsers) -> None:
     parser = subparsers.add_parser(
         "serve",
-        help="serve a JSONL request loop through the PPVService facade",
-        description="Read JSONL requests (one object per line) and write "
-        "JSONL responses in request order.  A request names a node "
+        help="serve JSONL requests over stdio or TCP via the PPVService "
+        "facade",
+        description="Serve JSONL requests (one object per line; see "
+        "repro.server.protocol).  A request names a node "
         '({"id": 1, "node": 7}) or a weighted node set ({"nodes": [3, 9], '
         '"weights": [2, 1]}) plus optional "eta", "target_error", '
-        '"time_limit", "top_k", "budget" and "top".  Requests are '
-        "admitted as they are read and coalesced by the scheduler; "
-        "responses for the pending batch are emitted at every blank "
-        "line and at end of input.",
+        '"time_limit", "top_k", "budget" and "top".  The default '
+        "transport is the single-process stdio loop (responses in "
+        "request order, emitted at every blank line and at end of "
+        "input); --tcp HOST:PORT starts the asyncio network server "
+        "instead, and --workers N pre-forks N serving processes on the "
+        "same port.",
     )
     parser.add_argument("graph", help="edge-list path")
     parser.add_argument("index", help=".fppv index path")
+    transport = parser.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--stdio", action="store_true",
+        help="serve the JSONL loop on stdin/stdout (the default)",
+    )
+    transport.add_argument(
+        "--tcp", metavar="HOST:PORT", default=None,
+        help="serve over TCP on this address (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="TCP only: pre-fork this many serving processes sharing "
+        "the listen socket (escapes the GIL; needs fork support)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="TCP only: server-wide bound on admitted-but-unanswered "
+        "requests (backpressure)",
+    )
     parser.add_argument(
         "--requests", default="-",
-        help="JSONL request file, '-' for stdin (the default)",
+        help="stdio only: JSONL request file, '-' for stdin (the default)",
     )
     parser.add_argument(
         "--backend", choices=["memory", "disk"], default="memory",
@@ -390,8 +426,14 @@ def _add_serve(subparsers) -> None:
         help="requests coalesced into one scheduler drain",
     )
     parser.add_argument(
-        "--max-delay", type=float, default=0.002,
-        help="seconds a drain holds its batch open for more arrivals",
+        "--max-delay", type=_parse_max_delay, default=0.002,
+        help="seconds a drain holds its batch open for more arrivals, "
+        "or 'auto' to tune the window from the observed arrival rate",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None,
+        help="capacity of the popularity result cache "
+        "(0 disables caching; default: the service default)",
     )
     parser.add_argument(
         "--clusters", type=int, default=8,
@@ -414,67 +456,56 @@ def _add_serve(subparsers) -> None:
     parser.set_defaults(func=_cmd_serve)
 
 
-def _spec_from_request(request: dict) -> QuerySpec:
-    """Translate one JSONL request object into a :class:`QuerySpec`."""
-    nodes = request.get("nodes", request.get("node"))
-    if nodes is None:
-        raise ValueError('request needs "node" or "nodes"')
-    weights = request.get("weights")
-    if request.get("top_k") is not None:
-        return QuerySpec(
-            nodes,
-            weights=weights,
-            top_k=int(request["top_k"]),
-            top_k_budget=int(request.get("budget", DEFAULT_TOPK_BUDGET)),
+def _parse_tcp_address(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--tcp expects HOST:PORT (e.g. 127.0.0.1:7474), got {value!r}"
         )
-    conditions = [StopAfterIterations(int(request.get("eta", 2)))]
-    if request.get("target_error") is not None:
-        conditions.append(StopAtL1Error(float(request["target_error"])))
-    if request.get("time_limit") is not None:
-        conditions.append(StopAfterTime(float(request["time_limit"])))
-    stop = conditions[0] if len(conditions) == 1 else any_of(*conditions)
-    return QuerySpec(nodes, weights=weights, stop=stop)
-
-
-def _render_response(request_id, spec, result, top: int) -> dict:
-    """One JSONL response object for any backend's result shape."""
-    response: dict = {"id": request_id, "nodes": list(spec.nodes)}
-    inner = result
-    if hasattr(result, "cluster_faults"):  # disk result wrappers
-        response["cluster_faults"] = result.cluster_faults
-        response["hub_reads"] = result.hub_reads
-        if result.truncated:
-            response["truncated"] = True
-        inner = result.topk if hasattr(result, "topk") else result.result
-    if hasattr(inner, "certified"):  # certified top-k
-        response["certified"] = bool(inner.certified)
-        response["iterations"] = int(inner.iterations)
-        response["l1_error"] = float(inner.l1_error)
-        response["top"] = [
-            [int(node), float(inner.scores[node])] for node in inner.nodes
-        ]
-    else:
-        response["iterations"] = int(inner.iterations)
-        response["l1_error"] = float(inner.l1_error)
-        response["top"] = [
-            [int(node), float(inner.scores[node])]
-            for node in inner.top_k(top)
-        ]
-    return response
+    return host, int(port)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
     from contextlib import ExitStack
 
+    from repro.server import PPVServer, ServerConfig, run_pool, serve_stdio
     from repro.storage import DiskGraphStore, DiskPPVStore, cluster_graph
 
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_inflight < 1:
+        print("error: --max-inflight must be at least 1", file=sys.stderr)
+        return 2
+    tcp_address = None
+    if args.tcp is not None:
+        try:
+            tcp_address = _parse_tcp_address(args.tcp)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.workers != 1:
+        print("error: --workers needs --tcp", file=sys.stderr)
+        return 2
+
     graph = read_edge_list(args.graph, undirected=args.undirected)
+    service_kwargs: dict = {
+        "max_batch": args.max_batch,
+        "max_delay": args.max_delay,
+    }
+    if args.cache_size is not None:
+        service_kwargs["cache_size"] = args.cache_size
     with ExitStack() as stack:
         if args.backend == "disk":
-            ppv_store = stack.enter_context(DiskPPVStore(args.index))
-            if ppv_store.num_nodes != graph.num_nodes:
+            # Validate the pair, then build the cluster files once; each
+            # serving process opens its *own* DiskPPVStore (one shared
+            # file handle across forked workers would race on seeks).
+            with DiskPPVStore(args.index) as probe:
+                num_covered = probe.num_nodes
+            if num_covered != graph.num_nodes:
                 print(
-                    f"error: index covers {ppv_store.num_nodes} nodes but "
+                    f"error: index covers {num_covered} nodes but "
                     f"the graph has {graph.num_nodes}",
                     file=sys.stderr,
                 )
@@ -487,15 +518,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             graph_store = DiskGraphStore(
                 graph, assignment, workdir, memory_budget=args.memory_budget
             )
-            service = PPVService.open(
-                ppv_store,
-                backend="disk",
-                graph_store=graph_store,
-                delta=args.delta,
-                fault_budget=args.fault_budget,
-                max_batch=args.max_batch,
-                max_delay=args.max_delay,
-            )
+            index_path = args.index
+
+            def make_service() -> PPVService:
+                return PPVService.open(
+                    index_path,
+                    backend="disk",
+                    graph_store=graph_store,
+                    delta=args.delta,
+                    fault_budget=args.fault_budget,
+                    **service_kwargs,
+                )
         else:
             index = load_index(args.index)
             if index.hub_mask.size != graph.num_nodes:
@@ -505,66 +538,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            service = PPVService.open(
-                index,
-                graph=graph,
-                delta=args.delta,
-                max_batch=args.max_batch,
-                max_delay=args.max_delay,
+
+            def make_service() -> PPVService:
+                return PPVService.open(
+                    index,
+                    graph=graph,
+                    delta=args.delta,
+                    **service_kwargs,
+                )
+
+        if tcp_address is None:
+            service = stack.enter_context(make_service())
+            if args.requests == "-":
+                source = sys.stdin
+            else:
+                source = stack.enter_context(
+                    open(args.requests, encoding="utf-8")
+                )
+            serve_stdio(
+                service, source, sys.stdout,
+                default_top=args.top, stats_sink=sys.stderr,
             )
-        stack.enter_context(service)
-        if args.requests == "-":
-            source = sys.stdin
-        else:
-            source = stack.enter_context(open(args.requests, encoding="utf-8"))
+            return 0
 
-        pending: list[tuple] = []
-
-        def emit_pending() -> None:
-            if not pending:
-                return
-            service.flush()
-            for request_id, spec, handle, top in pending:
-                if spec is None:  # parse/validation failure
-                    print(json.dumps({"id": request_id, "error": handle}))
-                    continue
-                try:
-                    result = handle.result()
-                except Exception as error:
-                    print(json.dumps(
-                        {"id": request_id, "error": str(error)}
-                    ))
-                    continue
-                print(json.dumps(
-                    _render_response(request_id, spec, result, top)
-                ))
-            pending.clear()
-
-        for line in source:
-            line = line.strip()
-            if not line:
-                emit_pending()
-                continue
-            request_id = None
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-                request_id = request.get("id")
-                spec = _spec_from_request(request)
-                top = int(request.get("top", args.top))
-                pending.append((request_id, spec, service.submit(spec), top))
-            except Exception as error:
-                pending.append((request_id, None, str(error), None))
-        emit_pending()
-        stats = service.stats()
-        print(
-            f"served {stats.submitted} requests in {stats.batches} "
-            f"batches (largest {stats.largest_batch}); cache "
-            f"{stats.cache_hits} hits / {stats.cache_misses} misses",
-            file=sys.stderr,
+        host, port = tcp_address
+        config = ServerConfig(
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            default_top=args.top,
         )
-    return 0
+
+        def announce(address) -> None:
+            print(
+                f"serving {args.backend} backend on "
+                f"{address[0]}:{address[1]} "
+                f"({args.workers} worker{'s' if args.workers != 1 else ''})",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        if args.workers == 1:
+            service = stack.enter_context(make_service())
+            server = PPVServer(service, config)
+            asyncio.run(server.serve(on_ready=announce))
+            return 0
+        return run_pool(
+            make_service, args.workers, config, announce=announce
+        )
 
 
 def _add_autotune(subparsers) -> None:

@@ -1,0 +1,44 @@
+"""Cross-process network serving over :class:`~repro.serving.PPVService`.
+
+Everything before this package lives inside one Python process; this is
+the layer that puts the serving façade on the network:
+
+* :mod:`repro.server.protocol` — the versioned JSONL request/response
+  protocol (queries, certified top-k, streaming frames, stats, hot
+  index swap, graceful shutdown) shared by the TCP server, the stdio
+  loop and the client.
+* :class:`PPVServer` (:mod:`repro.server.server`) — the asyncio TCP
+  front-end: many concurrent connections multiplexed onto one service
+  with bounded in-flight admission (server-wide and per-connection
+  backpressure) and structured error replies.
+* :func:`run_pool` (:mod:`repro.server.pool`) — pre-fork multi-worker
+  mode: N processes accepting from one shared listen socket, each with
+  its own service over the copy-on-write index, so throughput scales
+  past the GIL.
+* :class:`PPVClient` (:mod:`repro.server.client`) — the small blocking
+  client used by tests, benchmarks and examples.
+
+The CLI front door is ``repro serve --tcp HOST:PORT [--workers N]``
+(and ``repro serve --stdio`` for the single-process pipe loop).
+"""
+
+from repro.server.client import PPVClient, ProtocolViolation, ServerError
+from repro.server.pool import open_listen_socket, run_pool
+from repro.server.server import (
+    PPVServer,
+    ServerConfig,
+    ServerCounters,
+    serve_stdio,
+)
+
+__all__ = [
+    "PPVClient",
+    "PPVServer",
+    "ServerConfig",
+    "ServerCounters",
+    "ServerError",
+    "ProtocolViolation",
+    "open_listen_socket",
+    "run_pool",
+    "serve_stdio",
+]

@@ -1,0 +1,293 @@
+"""A small synchronous client for the FastPPV TCP protocol.
+
+One :class:`PPVClient` wraps one connection.  It is deliberately plain
+— blocking socket I/O, one request/response at a time — because its
+consumers are tests, benchmarks and examples that want many independent
+*connections* (one client per thread) rather than a multiplexed one;
+the server coalesces across connections anyway.
+
+    from repro.server import PPVClient
+
+    with PPVClient(host, port) as client:
+        result = client.query(42, eta=2)
+        topk = client.query(42, top_k=10)
+        for frame in client.stream(42, top_k=10):
+            if frame.get("certified"):
+                break
+        print(client.stats()["server"]["requests_total"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, Sequence
+
+from repro.server import protocol
+
+
+class ServerError(RuntimeError):
+    """A structured error reply (``ok: false``) from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ProtocolViolation(RuntimeError):
+    """The peer broke the wire protocol (not a structured error)."""
+
+
+class PPVClient:
+    """One connection to a :class:`~repro.server.PPVServer`.
+
+    Not thread-safe: share nothing, or give each thread its own client.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Request/response over small writes: Nagle + delayed ACK would
+        # add tens of milliseconds per round-trip.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Transport
+
+    def __enter__(self) -> "PPVClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def send_raw(self, payload: bytes) -> None:
+        """Ship raw bytes (protocol tests: malformed/oversized lines)."""
+        self._sock.sendall(payload)
+
+    def read_message(self) -> dict:
+        """Read one response record (whatever its id)."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        try:
+            message = json.loads(line)
+        except ValueError as error:
+            raise ProtocolViolation(f"unparseable reply: {error}") from None
+        if not isinstance(message, dict):
+            raise ProtocolViolation("reply is not a JSON object")
+        return message
+
+    def request(self, body: dict) -> dict:
+        """Send one request object and return its success ``result``.
+
+        Fills in ``v`` and ``id`` when absent.  Raises
+        :class:`ServerError` on a structured failure reply.
+        """
+        body, request_id = self._prepare(body)
+        self.send_raw(protocol.encode(body))
+        message = self._read_reply(request_id)
+        return self._unwrap(message)
+
+    def _prepare(self, body: dict) -> tuple[dict, object]:
+        body = dict(body)
+        body.setdefault("v", protocol.PROTOCOL_VERSION)
+        if "id" not in body:
+            self._next_id += 1
+            body["id"] = self._next_id
+        return body, body["id"]
+
+    def _read_reply(self, request_id) -> dict:
+        message = self.read_message()
+        if message.get("id") != request_id:
+            raise ProtocolViolation(
+                f"reply for id {message.get('id')!r}, expected {request_id!r}"
+            )
+        return message
+
+    @staticmethod
+    def _unwrap(message: dict) -> dict:
+        if message.get("ok"):
+            return message.get("result", {})
+        error = message.get("error") or {}
+        raise ServerError(
+            error.get("code", "unknown"), error.get("message", str(message))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+
+    def query(
+        self,
+        nodes: int | Sequence[int],
+        *,
+        weights: Sequence[float] | None = None,
+        eta: int | None = None,
+        target_error: float | None = None,
+        time_limit: float | None = None,
+        top_k: int | None = None,
+        budget: int | None = None,
+        top: int | None = None,
+    ) -> dict:
+        """Serve one query; returns the result payload (see protocol)."""
+        body = self._query_body(
+            "query", nodes, weights, eta, target_error, time_limit,
+            top_k, budget, top,
+        )
+        return self.request(body)
+
+    def query_many(
+        self,
+        nodes_list: Sequence[int | Sequence[int]],
+        *,
+        window: int = 32,
+        eta: int | None = None,
+        target_error: float | None = None,
+        time_limit: float | None = None,
+        top_k: int | None = None,
+        budget: int | None = None,
+        top: int | None = None,
+    ) -> list[dict]:
+        """Serve many queries over this one connection, pipelined.
+
+        Keeps up to ``window`` requests outstanding so consecutive
+        queries amortise the round-trip (and coalesce into shared
+        engine batches server-side) instead of paying one RTT each.
+        Results come back in input order regardless of the completion
+        order on the wire.
+
+        A structured error reply raises :class:`ServerError`
+        immediately; close the connection afterwards — replies to
+        still-outstanding requests are left unread.
+        """
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        bodies = [
+            self._query_body(
+                "query", nodes, None, eta, target_error, time_limit,
+                top_k, budget, top,
+            )
+            for nodes in nodes_list
+        ]
+        results: list = [None] * len(bodies)
+        pending: dict = {}
+        sent = 0
+        done = 0
+        while done < len(bodies):
+            while sent < len(bodies) and len(pending) < window:
+                body, request_id = self._prepare(bodies[sent])
+                pending[request_id] = sent
+                self.send_raw(protocol.encode(body))
+                sent += 1
+            message = self.read_message()
+            try:
+                position = pending.pop(message.get("id"))
+            except KeyError:
+                raise ProtocolViolation(
+                    f"reply for unknown id {message.get('id')!r}"
+                ) from None
+            results[position] = self._unwrap(message)
+            done += 1
+        return results
+
+    def stream(
+        self,
+        node: int,
+        *,
+        eta: int | None = None,
+        target_error: float | None = None,
+        time_limit: float | None = None,
+        top_k: int | None = None,
+        budget: int | None = None,
+        top: int | None = None,
+    ) -> Iterator[dict]:
+        """Yield per-iteration frames of one streamed query.
+
+        The generator ends after the server's ``done`` record.  Closing
+        it early (``break``, ``.close()``) quietly drains the stream's
+        remaining records off the socket, so the connection stays
+        usable for further requests.
+        """
+        body = self._query_body(
+            "stream", node, None, eta, target_error, time_limit,
+            top_k, budget, top,
+        )
+        body, request_id = self._prepare(body)
+        self.send_raw(protocol.encode(body))
+        finished = False
+        try:
+            while True:
+                message = self._read_reply(request_id)
+                if "frame" in message:
+                    yield message["frame"]
+                    continue
+                finished = True
+                self._unwrap(message)  # raises on structured errors
+                return
+        finally:
+            if not finished and not self._closed:
+                # Abandoned mid-stream: the terminal record (and any
+                # frames before it) are still in flight and would be
+                # misread as the reply to the *next* request.
+                try:
+                    while "frame" in self._read_reply(request_id):
+                        pass
+                except (ConnectionError, OSError, RuntimeError,
+                        ProtocolViolation):
+                    pass
+
+    def stats(self) -> dict:
+        """Service + server counters of the worker serving us."""
+        return self.request({"verb": "stats"})
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe."""
+        return bool(self.request({"verb": "ping"}).get("pong"))
+
+    def swap_index(self, path: str) -> dict:
+        """Hot-swap the serving index from an ``.fppv`` path."""
+        return self.request({"verb": "swap_index", "path": str(path)})
+
+    def shutdown_server(self) -> None:
+        """Ask the serving worker to shut down gracefully."""
+        self.request({"verb": "shutdown"})
+
+    @staticmethod
+    def _query_body(
+        verb, nodes, weights, eta, target_error, time_limit, top_k,
+        budget, top,
+    ) -> dict:
+        body: dict = {"verb": verb}
+        if isinstance(nodes, (list, tuple)):
+            body["nodes"] = [int(n) for n in nodes]
+        else:
+            body["node"] = int(nodes)
+        if weights is not None:
+            body["weights"] = [float(w) for w in weights]
+        if eta is not None:
+            body["eta"] = int(eta)
+        if target_error is not None:
+            body["target_error"] = float(target_error)
+        if time_limit is not None:
+            body["time_limit"] = float(time_limit)
+        if top_k is not None:
+            body["top_k"] = int(top_k)
+        if budget is not None:
+            body["budget"] = int(budget)
+        if top is not None:
+            body["top"] = int(top)
+        return body

@@ -1,0 +1,190 @@
+"""Pre-fork multi-worker serving: N processes, one shared listen socket.
+
+Python's GIL caps one process's query throughput no matter how many
+connections the asyncio front-end multiplexes.  The pool escapes it the
+classic pre-fork way: the parent binds the listening socket, forks ``N``
+workers, and every worker accepts from the *same* socket — the kernel
+load-balances connections, no proxy hop, no port juggling.
+
+Each worker builds its **own** :class:`~repro.serving.PPVService` from a
+``service_factory`` callable *after* the fork, so per-worker state with
+process affinity (the scheduler drain thread, open file handles such as
+a :class:`~repro.storage.ppv_store.DiskPPVStore`'s) is never shared
+across processes, while the big read-only inputs the factory closes
+over (graph, index) are inherited copy-on-write — every worker opens
+the index read-only without paying for a copy.
+
+Requires a platform with the ``fork`` start method (Linux, most BSDs);
+:func:`run_pool` says so loudly otherwise.  Hot ``swap_index`` requests
+apply to the worker that received them — with shared-nothing workers a
+cluster-wide swap is a client-side fan-out (one swap per connection
+until ``stats`` shows every pid swapped) or a rolling restart.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import socket
+
+from repro.server.server import PPVServer, ServerConfig
+
+
+def _raise_interrupt(signum, frame):  # pragma: no cover - signal path
+    raise KeyboardInterrupt
+
+
+def _worker_main(worker_index: int, sock, service_factory, config) -> None:
+    """Entry point of one forked worker: build, serve, clean up."""
+    import asyncio
+
+    # The parent's handlers must not fire twice; the server installs its
+    # own graceful SIGTERM/SIGINT handling inside the event loop.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    sock = _worker_socket(worker_index, sock)
+    service = service_factory()
+    server = PPVServer(service, config, worker_index=worker_index)
+    try:
+        asyncio.run(server.serve(sock=sock))
+    finally:
+        service.close()
+
+
+def _worker_socket(worker_index: int, inherited: socket.socket):
+    """The listen socket one worker should accept from.
+
+    Worker 0 keeps the inherited (parent-bound) socket so the port is
+    never without a listener; the others bind their own ``SO_REUSEPORT``
+    siblings to the same address, which makes the *kernel* hash incoming
+    connections evenly across workers — a shared accept queue lets one
+    event loop grab a whole burst of connections while its siblings
+    idle.  Falls back to the shared queue where ``SO_REUSEPORT`` is
+    unavailable.
+    """
+    if worker_index == 0:
+        return inherited
+    try:
+        own = socket.create_server(
+            inherited.getsockname()[:2], family=socket.AF_INET,
+            backlog=128, reuse_port=True,
+        )
+    except (OSError, ValueError):  # pragma: no cover - platform-dependent
+        # ValueError: this platform's socket module has no SO_REUSEPORT
+        # (create_server refuses before even trying to bind).
+        return inherited
+    own.setblocking(False)
+    inherited.close()
+    return own
+
+
+def open_listen_socket(host: str, port: int, backlog: int = 128) -> socket.socket:
+    """Bind the pool's primary listening socket (port 0 picks a free
+    port).  Bound with ``SO_REUSEPORT`` where available so worker
+    processes can join the kernel's load-balancing group with their own
+    sockets (:func:`_worker_socket`)."""
+    try:
+        sock = socket.create_server(
+            (host, port), family=socket.AF_INET, backlog=backlog,
+            reuse_port=True,
+        )
+    except (OSError, ValueError):  # pragma: no cover - platform-dependent
+        sock = socket.create_server(
+            (host, port), family=socket.AF_INET, backlog=backlog,
+        )
+    sock.setblocking(False)
+    return sock
+
+
+def run_pool(
+    service_factory,
+    workers: int,
+    config: ServerConfig | None = None,
+    announce=None,
+) -> int:
+    """Serve with ``workers`` pre-forked processes until interrupted.
+
+    Parameters
+    ----------
+    service_factory:
+        Zero-argument callable building one worker's ``PPVService``.
+        Called inside each worker after the fork; whatever it closes
+        over is inherited copy-on-write.
+    workers:
+        Number of processes.  Must be >= 1; 1 still forks (uniform
+        lifecycle), callers wanting in-process serving should run
+        :class:`~repro.server.server.PPVServer` directly.
+    config:
+        Transport tunables; ``config.host``/``config.port`` name the
+        shared socket.
+    announce:
+        Optional callable receiving the bound ``(host, port)`` before
+        workers start (the CLI prints it).
+
+    Returns the worst worker exit code (0 when all exited cleanly).
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        raise RuntimeError(
+            "multi-worker serving needs the 'fork' start method; "
+            "run with --workers 1 on this platform"
+        ) from None
+    config = config or ServerConfig()
+    sock = open_listen_socket(config.host, config.port)
+    try:
+        address = sock.getsockname()[:2]
+        if announce is not None:
+            announce(address)
+        children = []
+        for index in range(workers):
+            child = context.Process(
+                target=_worker_main,
+                args=(index, sock, service_factory, config),
+                name=f"ppv-worker-{index}",
+                daemon=False,
+            )
+            child.start()
+            children.append(child)
+        # A SIGTERM to the pool parent must reach the workers (the
+        # parent's default action would orphan them mid-serve).
+        restore = []
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                restore.append(
+                    (signum, signal.signal(signum, _raise_interrupt))
+                )
+        except ValueError:  # not the main thread (embedded use)
+            pass
+        try:
+            for child in children:
+                child.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for signum, handler in restore:
+                signal.signal(signum, handler)
+            # Graceful first (workers drain in-flight work on SIGTERM),
+            # then force whatever ignored it.
+            for child in children:
+                if child.is_alive():
+                    child.terminate()
+            for child in children:
+                child.join(timeout=30)
+            for child in children:
+                if child.is_alive():  # pragma: no cover - last resort
+                    child.kill()
+                    child.join()
+        # A worker torn down by our own SIGTERM is a clean exit; any
+        # other signal death maps to the shell convention (128 + sig)
+        # so a crashed worker can never masquerade as success.
+        worst = 0
+        for child in children:
+            code = child.exitcode or 0
+            if code == -signal.SIGTERM or code == 0:
+                continue
+            worst = max(worst, 128 - code if code < 0 else code)
+        return worst
+    finally:
+        sock.close()

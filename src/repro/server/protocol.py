@@ -1,0 +1,272 @@
+"""Version 1 of the FastPPV wire protocol (JSONL over TCP).
+
+One request per line, one JSON object per request; responses are JSONL
+too, correlated by the client-chosen ``id`` (any JSON value).  The same
+request objects drive the CLI's stdio loop (``repro serve --stdio``) and
+the TCP server (``repro serve --tcp``), so a file of ``query`` requests
+replays on either transport; the control and streaming verbs need the
+bidirectional TCP transport and are refused with a structured error
+over stdio.
+
+Requests
+--------
+``{"v": 1, "id": 7, "verb": "query", "node": 42, "eta": 2}``
+
+* ``v`` — protocol version; optional, assumed :data:`PROTOCOL_VERSION`.
+  A different version is refused with an ``unsupported_version`` error.
+* ``verb`` — optional, default ``"query"``.  Known verbs:
+
+  - ``query`` — serve one :class:`~repro.serving.QuerySpec`: ``node``
+    (or ``nodes`` + optional ``weights``), and either ``eta`` /
+    ``target_error`` / ``time_limit`` or ``top_k`` + ``budget``
+    (certified top-k); ``top`` bounds the ranked scores returned.
+  - ``stream`` — like ``query`` (single node only) but the response is
+    a sequence of per-iteration frames followed by a ``done`` record.
+  - ``stats`` — service + server counters.
+  - ``ping`` — liveness/round-trip probe.
+  - ``swap_index`` — hot-swap the served index from ``path`` (memory
+    backend): in-flight queries drain, held admissions resume on the
+    new index, nothing accepted is dropped.
+  - ``shutdown`` — graceful server shutdown: stop accepting, drain
+    in-flight requests, close connections.
+
+Responses
+---------
+``{"v": 1, "id": 7, "ok": true, "result": {...}}`` on success;
+``{"v": 1, "id": 7, "ok": false, "error": {"code": "...", "message":
+"..."}}`` on failure.  Streaming interleaves
+``{"v": 1, "id": 7, "frame": {...}}`` records and terminates with
+``{"v": 1, "id": 7, "ok": true, "done": true, "frames": n}``.
+Responses to different ids may interleave in completion order; frames
+of one stream are ordered.
+
+Error codes (:data:`ERROR_CODES`): ``malformed`` (not JSON / not an
+object), ``oversized`` (line longer than the server's limit),
+``unsupported_version``, ``unknown_verb``, ``invalid`` (bad or missing
+fields, out-of-range nodes, unsupported operation), ``unavailable``
+(server shutting down), ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.query import (
+    StopAfterIterations,
+    StopAfterTime,
+    StopAtL1Error,
+    any_of,
+)
+from repro.serving.spec import DEFAULT_TOPK_BUDGET, QuerySnapshot, QuerySpec
+
+PROTOCOL_VERSION = 1
+
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+"""Default per-line payload bound (1 MiB) before ``oversized``."""
+
+E_MALFORMED = "malformed"
+E_OVERSIZED = "oversized"
+E_UNSUPPORTED_VERSION = "unsupported_version"
+E_UNKNOWN_VERB = "unknown_verb"
+E_INVALID = "invalid"
+E_UNAVAILABLE = "unavailable"
+E_INTERNAL = "internal"
+
+ERROR_CODES = (
+    E_MALFORMED,
+    E_OVERSIZED,
+    E_UNSUPPORTED_VERSION,
+    E_UNKNOWN_VERB,
+    E_INVALID,
+    E_UNAVAILABLE,
+    E_INTERNAL,
+)
+
+VERBS = ("query", "stream", "stats", "ping", "swap_index", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A structured request failure, carried as ``(code, message)``.
+
+    Subclasses ``ValueError`` so transports that predate the error codes
+    (the stdio loop) can keep reporting plain messages.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode(obj: dict) -> bytes:
+    """One wire line: compact JSON plus the record separator."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def parse_request(line: bytes | str) -> dict:
+    """Decode one request line into its object.
+
+    Raises
+    ------
+    ProtocolError
+        ``malformed`` when the line is not a JSON object.  Version and
+        verb validation are separate (:func:`check_version`,
+        :func:`request_verb`) so transports can extract the request
+        ``id`` first and echo it in the error reply.
+    """
+    try:
+        request = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(E_MALFORMED, f"not valid JSON: {error}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError(E_MALFORMED, "request must be a JSON object")
+    return request
+
+
+def check_version(request: dict) -> None:
+    """Refuse versions other than :data:`PROTOCOL_VERSION`.
+
+    Raises
+    ------
+    ProtocolError
+        ``unsupported_version``.
+    """
+    version = request.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_UNSUPPORTED_VERSION,
+            f"this server speaks protocol version {PROTOCOL_VERSION}, "
+            f"not {version!r}",
+        )
+
+
+def request_verb(request: dict) -> str:
+    """The request's verb (default ``"query"``), validated.
+
+    Raises
+    ------
+    ProtocolError
+        ``unknown_verb`` for anything outside :data:`VERBS`.
+    """
+    verb = request.get("verb", "query")
+    if verb not in VERBS:
+        raise ProtocolError(
+            E_UNKNOWN_VERB,
+            f"unknown verb {verb!r}; this server speaks {list(VERBS)}",
+        )
+    return verb
+
+
+def spec_from_request(request: dict) -> QuerySpec:
+    """Translate a ``query``/``stream`` request into a :class:`QuerySpec`.
+
+    Raises
+    ------
+    ProtocolError
+        ``invalid`` when node/stop fields are missing or unusable.
+    """
+    nodes = request.get("nodes", request.get("node"))
+    if nodes is None:
+        raise ProtocolError(E_INVALID, 'request needs "node" or "nodes"')
+    weights = request.get("weights")
+    try:
+        if request.get("top_k") is not None:
+            return QuerySpec(
+                nodes,
+                weights=weights,
+                top_k=int(request["top_k"]),
+                top_k_budget=int(request.get("budget", DEFAULT_TOPK_BUDGET)),
+            )
+        conditions = [StopAfterIterations(int(request.get("eta", 2)))]
+        if request.get("target_error") is not None:
+            conditions.append(StopAtL1Error(float(request["target_error"])))
+        if request.get("time_limit") is not None:
+            conditions.append(StopAfterTime(float(request["time_limit"])))
+        stop = conditions[0] if len(conditions) == 1 else any_of(*conditions)
+        return QuerySpec(nodes, weights=weights, stop=stop)
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(E_INVALID, str(error)) from None
+
+
+def top_from_request(request: dict, default: int) -> int:
+    """The ranked-scores bound of a request (its ``top`` field).
+
+    Raises
+    ------
+    ProtocolError
+        ``invalid`` when the field is not usable as an integer.
+    """
+    value = request.get("top", default)
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            E_INVALID, f'"top" must be an integer, not {value!r}'
+        ) from None
+
+
+def render_result(spec: QuerySpec, result, top: int) -> dict:
+    """The response payload for any backend's result shape."""
+    payload: dict = {"nodes": list(spec.nodes)}
+    inner = result
+    if hasattr(result, "cluster_faults"):  # disk result wrappers
+        payload["cluster_faults"] = result.cluster_faults
+        payload["hub_reads"] = result.hub_reads
+        if result.truncated:
+            payload["truncated"] = True
+        inner = result.topk if hasattr(result, "topk") else result.result
+    payload["iterations"] = int(inner.iterations)
+    payload["l1_error"] = float(inner.l1_error)
+    if hasattr(inner, "certified"):  # certified top-k
+        payload["certified"] = bool(inner.certified)
+        payload["top"] = [
+            [int(node), float(inner.scores[node])] for node in inner.nodes
+        ]
+    else:
+        payload["top"] = [
+            [int(node), float(inner.scores[node])]
+            for node in inner.top_k(top)
+        ]
+    return payload
+
+
+def render_snapshot(snapshot: QuerySnapshot, top: int) -> dict:
+    """One streamed frame's payload."""
+    frame = {
+        "iteration": int(snapshot.iteration),
+        "l1_error": float(snapshot.l1_error),
+        "frontier_size": int(snapshot.frontier_size),
+        "top": [
+            [int(node), float(snapshot.scores[node])]
+            for node in snapshot.top_k(top)
+        ],
+    }
+    if snapshot.certified is not None:
+        frame["certified"] = bool(snapshot.certified)
+    return frame
+
+
+def ok_response(request_id, result=None, **extra) -> dict:
+    """A success record (``result`` omitted when ``None``)."""
+    response: dict = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True}
+    if result is not None:
+        response["result"] = result
+    response.update(extra)
+    return response
+
+
+def frame_response(request_id, frame: dict) -> dict:
+    """One mid-stream frame record."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "frame": frame}
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """A failure record carrying a structured error."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

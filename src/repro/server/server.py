@@ -1,0 +1,771 @@
+"""The asyncio TCP front-end over one :class:`~repro.serving.PPVService`.
+
+One :class:`PPVServer` owns one service and multiplexes any number of
+client connections onto it.  The event loop only parses, admits and
+replies; every query still executes on the service's scheduler drain
+thread, so concurrent connections coalesce into shared engine batches
+exactly like concurrent ``submit()`` callers in one process — the
+server rides :meth:`~repro.serving.spec.QueryHandle.add_done_callback`
+instead of parking a thread per in-flight request.
+
+Admission control (backpressure)
+--------------------------------
+Two bounds, both enforced *before* the next line is read from a
+connection, so a client that outruns the service is throttled by TCP
+flow control rather than ballooning server memory:
+
+* ``max_inflight`` — server-wide bound on admitted-but-unanswered
+  requests (the in-flight admission queue);
+* ``max_inflight_per_conn`` — per-connection share, so one firehose
+  client cannot starve the rest.
+
+Structured errors (malformed JSON, oversized lines, unknown verbs, bad
+fields) are replied per request and never tear down the connection; see
+:mod:`repro.server.protocol` for the codes.
+
+Hot swap and shutdown
+---------------------
+``swap_index`` closes the admission gate (arrivals are held, not
+dropped), drains in-flight work via the service's own
+``update_index`` flush, swaps, then reopens the gate — an accepted
+query is always answered, from the old index or the new one.
+``shutdown`` (verb, signal, or :meth:`PPVServer.request_shutdown`)
+stops accepting connections, answers everything in flight, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.server import protocol
+from repro.server.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    E_INTERNAL,
+    E_INVALID,
+    E_MALFORMED,
+    E_OVERSIZED,
+    E_UNAVAILABLE,
+    ProtocolError,
+)
+from repro.storage.ppv_store import load_index
+
+DEFAULT_MAX_INFLIGHT = 256
+DEFAULT_MAX_INFLIGHT_PER_CONN = 32
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`PPVServer` (transport-level only;
+    engine/scheduler knobs live on the service)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    max_inflight_per_conn: int = DEFAULT_MAX_INFLIGHT_PER_CONN
+    default_top: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_line_bytes < 64:
+            raise ValueError("max_line_bytes must be at least 64")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if self.max_inflight_per_conn < 1:
+            raise ValueError("max_inflight_per_conn must be at least 1")
+
+
+@dataclass
+class ServerCounters:
+    """Server-level counters surfaced by the ``stats`` verb (alongside
+    the service's own :class:`~repro.serving.service.ServiceStats`)."""
+
+    connections_total: int = 0
+    connections_open: int = 0
+    requests_total: int = 0
+    responses_total: int = 0
+    frames_total: int = 0
+    errors_total: int = 0
+    errors_by_code: dict = field(default_factory=dict)
+    swaps_total: int = 0
+
+    def count_error(self, code: str) -> None:
+        self.errors_total += 1
+        self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "connections_total": self.connections_total,
+            "connections_open": self.connections_open,
+            "requests_total": self.requests_total,
+            "responses_total": self.responses_total,
+            "frames_total": self.frames_total,
+            "errors_total": self.errors_total,
+            "errors_by_code": dict(self.errors_by_code),
+            "swaps_total": self.swaps_total,
+        }
+
+
+class _Connection:
+    """Per-connection state: serialised writes and an in-flight bound."""
+
+    __slots__ = ("reader", "writer", "write_lock", "slots", "tasks")
+
+    def __init__(self, reader, writer, per_conn_limit: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.slots = asyncio.Semaphore(per_conn_limit)
+        self.tasks: set[asyncio.Task] = set()
+
+
+class PPVServer:
+    """Serve one :class:`~repro.serving.PPVService` over TCP (JSONL).
+
+    Parameters
+    ----------
+    service:
+        The service to serve.  The server never closes it — the caller
+        (or worker harness) that opened the service owns its lifetime.
+    config:
+        Transport tunables; defaults are fine for tests and benchmarks.
+    worker_index:
+        Cosmetic tag reported by ``stats`` in multi-worker mode.
+    """
+
+    def __init__(
+        self,
+        service,
+        config: ServerConfig | None = None,
+        worker_index: int = 0,
+    ) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.worker_index = worker_index
+        self.counters = ServerCounters()
+        self.address: tuple | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._gate: asyncio.Event | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._swap_lock: asyncio.Lock | None = None
+        self._connections: set[_Connection] = set()
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    async def serve(self, sock=None, on_ready=None) -> None:
+        """Accept and serve connections until shutdown is requested.
+
+        ``sock`` overrides ``config.host``/``config.port`` with an
+        already-bound listening socket — the pre-fork worker path, where
+        every worker accepts from the same inherited socket.
+        ``on_ready`` (if given) is called with the bound ``(host,
+        port)`` once the server is listening.
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._shutdown = asyncio.Event()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._slots = asyncio.Semaphore(self.config.max_inflight)
+        self._swap_lock = asyncio.Lock()
+        # readuntil() needs headroom above the payload bound so the
+        # oversized error path triggers deterministically at our limit,
+        # not the transport's.
+        limit = self.config.max_line_bytes + 2
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock, limit=limit
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                self.config.host,
+                self.config.port,
+                limit=limit,
+            )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._install_signal_handlers(loop)
+        self._started.set()
+        if on_ready is not None:
+            on_ready(self.address)
+        try:
+            await self._shutdown.wait()
+            # Graceful: stop accepting, answer what is in flight, close
+            # every connection, and only then wait for the listener —
+            # on Python >= 3.12.1 Server.wait_closed() blocks until all
+            # connection handlers finish, and the handlers are parked
+            # in read() until _drain_connections() closes their
+            # sockets, so the drain must come first.
+            self._server.close()
+            await self._drain_connections()
+            await self._server.wait_closed()
+        finally:
+            # Covers the exception/cancellation path too (the normal
+            # path above already closed; close() is idempotent).
+            self._server.close()
+            self._started.clear()
+
+    def _install_signal_handlers(self, loop) -> None:
+        try:
+            import signal
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self._shutdown.set)
+        except (ImportError, NotImplementedError, RuntimeError, ValueError):
+            # Not the main thread (test harnesses) or an exotic platform:
+            # request_shutdown() and the shutdown verb still work.
+            pass
+
+    def request_shutdown(self) -> None:
+        """Thread-safe graceful shutdown trigger (idempotent; a no-op
+        once the event loop is already gone)."""
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed: the server is down
+
+    async def _drain_connections(self) -> None:
+        for connection in list(self._connections):
+            pending = [t for t in connection.tasks if not t.done()]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            await self._close_connection(connection)
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        writer = connection.writer
+        try:
+            if not writer.is_closing():
+                writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+
+    async def _on_connection(self, reader, writer) -> None:
+        # Small JSONL responses must not sit in Nagle's buffer waiting
+        # for the client's delayed ACK.
+        try:
+            conn_sock = writer.get_extra_info("socket")
+            if conn_sock is not None:
+                conn_sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+        except OSError:  # pragma: no cover - exotic transports
+            pass
+        connection = _Connection(
+            reader, writer, self.config.max_inflight_per_conn
+        )
+        self._connections.add(connection)
+        self.counters.connections_total += 1
+        self.counters.connections_open += 1
+        try:
+            await self._read_loop(connection)
+            # EOF from the client: answer its outstanding requests
+            # before closing our side.
+            pending = [t for t in connection.tasks if not t.done()]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            for task in connection.tasks:
+                task.cancel()
+            await self._close_connection(connection)
+            self._connections.discard(connection)
+            self.counters.connections_open -= 1
+
+    async def _read_loop(self, connection: _Connection) -> None:
+        # The loop runs until the peer (or the shutdown drain, which
+        # closes every connection once in-flight work is answered) ends
+        # the connection; requests arriving after shutdown get a
+        # structured ``unavailable`` reply from _dispatch_line rather
+        # than silence.
+        reader = connection.reader
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as error:
+                if error.partial.strip():
+                    await self._dispatch_line(connection, error.partial)
+                return
+            except asyncio.LimitOverrunError as error:
+                await self._discard_oversized(connection, error.consumed)
+                continue
+            # The bound applies to the payload, excluding the record
+            # separator readuntil includes.
+            if len(line.rstrip(b"\r\n")) > self.config.max_line_bytes:
+                await self._reply_oversized(connection)
+                continue
+            line = line.strip()
+            if not line:
+                continue
+            await self._dispatch_line(connection, line)
+
+    async def _discard_oversized(self, connection: _Connection, consumed: int) -> None:
+        """Skip exactly the over-limit line, then report it.
+
+        Consumes byte-exact amounts so pipelined requests queued behind
+        the offending newline survive intact.
+        """
+        reader = connection.reader
+        while True:
+            if consumed:
+                try:
+                    await reader.readexactly(consumed)
+                except asyncio.IncompleteReadError:
+                    break
+            try:
+                await reader.readuntil(b"\n")  # the tail of the long line
+                break
+            except asyncio.LimitOverrunError as error:
+                consumed = error.consumed
+            except asyncio.IncompleteReadError:
+                break
+        await self._reply_oversized(connection)
+
+    async def _reply_oversized(self, connection: _Connection) -> None:
+        self.counters.count_error(E_OVERSIZED)
+        await self._send(
+            connection,
+            protocol.error_response(
+                None,
+                E_OVERSIZED,
+                f"request line exceeds {self.config.max_line_bytes} bytes",
+            ),
+        )
+
+    async def _send(self, connection: _Connection, message: dict) -> None:
+        async with connection.write_lock:
+            connection.writer.write(protocol.encode(message))
+            await connection.writer.drain()
+
+    async def _dispatch_line(self, connection: _Connection, line) -> None:
+        """Parse one request line and route it.
+
+        Control verbs are answered inline; query/stream verbs first
+        acquire both admission bounds — stalling this coroutine (and
+        with it the connection's read loop) is exactly the backpressure
+        contract — then run as a task so the connection can pipeline.
+        """
+        self.counters.requests_total += 1
+        request_id = None
+        try:
+            request = protocol.parse_request(line)
+            request_id = request.get("id")
+            protocol.check_version(request)
+            verb = protocol.request_verb(request)
+            if verb == "ping":
+                await self._send(
+                    connection,
+                    protocol.ok_response(request_id, {"pong": True}),
+                )
+                self.counters.responses_total += 1
+                return
+            if verb == "stats":
+                await self._send(
+                    connection,
+                    protocol.ok_response(request_id, self._stats_payload()),
+                )
+                self.counters.responses_total += 1
+                return
+            if verb == "shutdown":
+                await self._send(connection, protocol.ok_response(request_id))
+                self.counters.responses_total += 1
+                self._shutdown.set()
+                return
+            if verb == "swap_index":
+                await self._swap_index(connection, request_id, request)
+                return
+            # query / stream: admit under both bounds.
+            spec = protocol.spec_from_request(request)
+            top = protocol.top_from_request(request, self.config.default_top)
+            if self._shutdown.is_set():
+                raise ProtocolError(
+                    E_UNAVAILABLE, "server is shutting down"
+                )
+            await self._gate.wait()
+            await self._slots.acquire()
+            await connection.slots.acquire()
+            runner = (
+                self._serve_stream if verb == "stream" else self._serve_query
+            )
+            task = asyncio.ensure_future(
+                self._admitted(runner, connection, request_id, spec, top)
+            )
+            connection.tasks.add(task)
+            task.add_done_callback(connection.tasks.discard)
+        except ProtocolError as error:
+            self.counters.count_error(error.code)
+            await self._send(
+                connection,
+                protocol.error_response(request_id, error.code, error.message),
+            )
+        except (ConnectionError, OSError):
+            raise
+        except Exception as error:  # pragma: no cover - defensive
+            self.counters.count_error(E_INTERNAL)
+            await self._send(
+                connection,
+                protocol.error_response(request_id, E_INTERNAL, str(error)),
+            )
+
+    async def _admitted(
+        self, runner, connection: _Connection, request_id, spec, top
+    ) -> None:
+        """Run one admitted request, releasing its slots afterwards."""
+        try:
+            # Re-check the swap gate here, after the slot waits: a
+            # request that passed the dispatch-time gate and then sat
+            # in an admission queue across the start of a swap must not
+            # submit into the middle of the engine rebuild — from this
+            # wait to the actual submit there is no further await, so
+            # the swap (which closes the gate before flushing) cannot
+            # interleave.
+            await self._gate.wait()
+            await runner(connection, request_id, spec, top)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass  # client went away; the read loop notices on its own
+        except Exception as error:  # pragma: no cover - defensive
+            self.counters.count_error(E_INTERNAL)
+            try:
+                await self._send(
+                    connection,
+                    protocol.error_response(request_id, E_INTERNAL, str(error)),
+                )
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            connection.slots.release()
+            self._slots.release()
+
+    # ------------------------------------------------------------------ #
+    # Verb implementations
+
+    async def _await_handle(self, handle):
+        """Await a service handle without blocking the event loop."""
+        future = self._loop.create_future()
+
+        def on_done(_handle) -> None:
+            self._loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_result(None)
+            )
+
+        handle.add_done_callback(on_done)
+        await future
+        return handle.result(timeout=0)
+
+    async def _serve_query(
+        self, connection: _Connection, request_id, spec, top
+    ) -> None:
+        try:
+            handle = self.service.submit(spec)
+        except ValueError as error:
+            self.counters.count_error(E_INVALID)
+            await self._send(
+                connection,
+                protocol.error_response(request_id, E_INVALID, str(error)),
+            )
+            return
+        try:
+            result = await self._await_handle(handle)
+        except Exception as error:
+            self.counters.count_error(E_INTERNAL)
+            await self._send(
+                connection,
+                protocol.error_response(request_id, E_INTERNAL, str(error)),
+            )
+            return
+        await self._send(
+            connection,
+            protocol.ok_response(
+                request_id, protocol.render_result(spec, result, top)
+            ),
+        )
+        self.counters.responses_total += 1
+
+    async def _serve_stream(
+        self, connection: _Connection, request_id, spec, top
+    ) -> None:
+        frames: asyncio.Queue = asyncio.Queue()
+        abandon = threading.Event()
+        loop = self._loop
+
+        def emit(item) -> None:
+            try:
+                loop.call_soon_threadsafe(frames.put_nowait, item)
+            except RuntimeError:  # loop already closed during shutdown
+                pass
+
+        def pump() -> None:
+            """Iterate the service stream on a worker thread.
+
+            Closing the iterator (normal end, abandon, or error) cancels
+            the query at its next iteration boundary via the service's
+            streaming contract.
+            """
+            try:
+                iterator = self.service.stream(spec)
+                try:
+                    for snapshot in iterator:
+                        if abandon.is_set():
+                            break
+                        emit(("frame", protocol.render_snapshot(snapshot, top)))
+                finally:
+                    iterator.close()
+                emit(("done", None))
+            except BaseException as error:
+                emit(("error", error))
+
+        thread = threading.Thread(
+            target=pump, name="ppv-server-stream", daemon=True
+        )
+        thread.start()
+        sent = 0
+        try:
+            while True:
+                kind, payload = await frames.get()
+                if kind == "frame":
+                    await self._send(
+                        connection, protocol.frame_response(request_id, payload)
+                    )
+                    sent += 1
+                    self.counters.frames_total += 1
+                elif kind == "done":
+                    await self._send(
+                        connection,
+                        protocol.ok_response(
+                            request_id, done=True, frames=sent
+                        ),
+                    )
+                    self.counters.responses_total += 1
+                    return
+                else:  # error
+                    code = (
+                        E_INVALID
+                        if isinstance(payload, (ValueError, TypeError))
+                        else E_INTERNAL
+                    )
+                    self.counters.count_error(code)
+                    await self._send(
+                        connection,
+                        protocol.error_response(request_id, code, str(payload)),
+                    )
+                    return
+        finally:
+            # Mid-stream disconnect (send raised) or task cancellation:
+            # tell the pump to stop so the engine abandons the query at
+            # the next iteration boundary instead of streaming into the
+            # void.
+            abandon.set()
+
+    async def _swap_index(
+        self, connection: _Connection, request_id, request: dict
+    ) -> None:
+        path = request.get("path")
+        if not isinstance(path, str) or not path:
+            self.counters.count_error(E_INVALID)
+            await self._send(
+                connection,
+                protocol.error_response(
+                    request_id, E_INVALID, 'swap_index needs a "path"'
+                ),
+            )
+            return
+        # Hold new admissions (they queue behind the gate — accepted,
+        # never dropped), drain what was admitted, swap, resume.  The
+        # lock serialises concurrent swap requests.
+        async with self._swap_lock:
+            await self._swap_index_locked(connection, request_id, path)
+
+    async def _swap_index_locked(
+        self, connection: _Connection, request_id, path: str
+    ) -> None:
+        self._gate.clear()
+        try:
+            index = await asyncio.to_thread(load_index, path)
+            await asyncio.to_thread(self.service.update_index, index)
+        except FileNotFoundError:
+            self.counters.count_error(E_INVALID)
+            await self._send(
+                connection,
+                protocol.error_response(
+                    request_id, E_INVALID, f"no index at {path!r}"
+                ),
+            )
+            return
+        except (NotImplementedError, ValueError) as error:
+            self.counters.count_error(E_INVALID)
+            await self._send(
+                connection,
+                protocol.error_response(request_id, E_INVALID, str(error)),
+            )
+            return
+        finally:
+            self._gate.set()
+        self.counters.swaps_total += 1
+        await self._send(
+            connection,
+            protocol.ok_response(request_id, {"swapped": True, "path": path}),
+        )
+        self.counters.responses_total += 1
+
+    def _stats_payload(self) -> dict:
+        service_stats = self.service.stats()
+        return {
+            "server": self.counters.as_dict(),
+            "service": {
+                "submitted": service_stats.submitted,
+                "batches": service_stats.batches,
+                "largest_batch": service_stats.largest_batch,
+                "cache_hits": service_stats.cache_hits,
+                "cache_misses": service_stats.cache_misses,
+                "cache_entries": service_stats.cache_entries,
+            },
+            "worker": {"index": self.worker_index, "pid": os.getpid()},
+            "backend": getattr(self.service.engine, "backend", None),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Test/benchmark convenience
+
+    def background(self) -> "_BackgroundServer":
+        """Run this server on a daemon thread::
+
+            with PPVServer(service).background() as (host, port):
+                client = PPVClient(host, port)
+
+        The context manager shuts the server down gracefully on exit.
+        """
+        return _BackgroundServer(self)
+
+
+class _BackgroundServer:
+    """Context manager running a :class:`PPVServer` on its own thread."""
+
+    def __init__(self, server: PPVServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+
+    def __enter__(self) -> tuple:
+        def run() -> None:
+            try:
+                asyncio.run(self.server.serve())
+            except BaseException as error:  # surfaced on __exit__
+                self._failure = error
+
+        self._thread = threading.Thread(
+            target=run, name="ppv-server", daemon=True
+        )
+        self._thread.start()
+        deadline = time.monotonic() + 10.0
+        while not self.server._started.is_set():
+            if self._failure is not None:
+                raise self._failure
+            if time.monotonic() > deadline:
+                raise TimeoutError("server did not start listening")
+            time.sleep(0.005)
+        return self.server.address
+
+    def __exit__(self, *exc_info) -> None:
+        self.server.request_shutdown()
+        self._thread.join(timeout=30.0)
+        if self._thread.is_alive():
+            raise TimeoutError("server did not shut down")
+        if self._failure is not None:
+            raise self._failure
+
+
+def serve_stdio(service, source, sink, default_top: int = 10, stats_sink=None):
+    """The single-process JSONL request loop (``repro serve --stdio``).
+
+    Reads requests from the ``source`` file object, admits them as they
+    are read (coalescing through the service's scheduler), and writes
+    JSONL responses **in request order** to ``sink`` at every blank line
+    and at end of input.  The response shape is the flat pre-TCP one
+    (``{"id": ..., "nodes": ..., ...}`` / ``{"id": ..., "error": ...}``)
+    so existing request files and consumers keep working.
+
+    Returns the number of requests served.
+    """
+    pending: list[tuple] = []
+
+    def emit_pending() -> None:
+        if not pending:
+            return
+        service.flush()
+        for request_id, spec, handle, top in pending:
+            if spec is None:  # parse/validation failure
+                print(
+                    json.dumps({"id": request_id, "error": handle}), file=sink
+                )
+                continue
+            try:
+                result = handle.result()
+            except Exception as error:
+                print(
+                    json.dumps({"id": request_id, "error": str(error)}),
+                    file=sink,
+                )
+                continue
+            print(
+                json.dumps(
+                    {
+                        "id": request_id,
+                        **protocol.render_result(spec, result, top),
+                    }
+                ),
+                file=sink,
+            )
+        pending.clear()
+
+    served = 0
+    for line in source:
+        line = line.strip()
+        if not line:
+            emit_pending()
+            continue
+        served += 1
+        request_id = None
+        try:
+            request = protocol.parse_request(line)
+            request_id = request.get("id")
+            protocol.check_version(request)
+            verb = protocol.request_verb(request)
+            if verb != "query":
+                # Control/streaming verbs need the bidirectional TCP
+                # transport; say so instead of failing on a missing
+                # "node" field.
+                raise protocol.ProtocolError(
+                    protocol.E_INVALID,
+                    f"verb {verb!r} is only available over --tcp",
+                )
+            spec = protocol.spec_from_request(request)
+            top = protocol.top_from_request(request, default_top)
+            pending.append((request_id, spec, service.submit(spec), top))
+        except Exception as error:
+            pending.append((request_id, None, str(error), None))
+    emit_pending()
+    if stats_sink is not None:
+        stats = service.stats()
+        print(
+            f"served {stats.submitted} requests in {stats.batches} "
+            f"batches (largest {stats.largest_batch}); cache "
+            f"{stats.cache_hits} hits / {stats.cache_misses} misses",
+            file=stats_sink,
+        )
+    return served

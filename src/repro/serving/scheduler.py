@@ -33,6 +33,24 @@ engine-side, so this mainly bounds how long one drain can run)."""
 DEFAULT_MAX_DELAY = 0.002
 """Seconds a drain holds the batch open for concurrent arrivals."""
 
+AUTO_DELAY_MIN = 0.0002
+"""Floor of the adaptive coalescing window (``max_delay="auto"``)."""
+
+AUTO_DELAY_MAX = DEFAULT_MAX_DELAY
+"""Cap of the adaptive coalescing window: ``"auto"`` only ever *shrinks*
+the wait below the static default.  A larger cap is a trap for
+closed-loop clients (one request in flight each): their inter-arrival
+gap includes the window itself, so any cap above the service time
+inflates every round-trip to the cap — the window must never exceed a
+gap the traffic can close."""
+
+AUTO_DELAY_MULTIPLIER = 4.0
+"""The adaptive window spans this many observed inter-arrival gaps, so a
+drain typically coalesces a handful of concurrent submitters."""
+
+AUTO_EWMA_ALPHA = 0.2
+"""Smoothing factor of the inter-arrival EWMA behind ``"auto"``."""
+
 
 class CoalescingScheduler:
     """Admission queue + drain thread (see module docstring).
@@ -51,7 +69,18 @@ class CoalescingScheduler:
         Maximum jobs admitted into one drain.
     max_delay:
         Coalescing window in seconds (0 disables the wait: every drain
-        takes whatever is queued the moment it wakes).
+        takes whatever is queued the moment it wakes), or the string
+        ``"auto"``: the window is tuned continuously from the observed
+        arrival rate — an EWMA of submission inter-arrival gaps.  Dense
+        traffic holds the window open for
+        :data:`AUTO_DELAY_MULTIPLIER` gaps (clamped to
+        [:data:`AUTO_DELAY_MIN`, :data:`AUTO_DELAY_MAX`], the cap being
+        the static default) so concurrent submitters coalesce; traffic
+        arriving slower than the cap waits not at all, because no
+        companion would arrive within the window anyway — sparse or
+        closed-loop clients get their responses immediately instead of
+        taxing every round-trip with the full wait.  A numeric
+        ``max_delay`` is entirely unaffected by the estimator.
     on_error:
         Optional ``on_error(jobs, error)`` — called on the drain thread
         when ``execute`` raised, with the batch that failed.  Exceptions
@@ -63,17 +92,26 @@ class CoalescingScheduler:
         self,
         execute,
         max_batch: int = DEFAULT_MAX_BATCH,
-        max_delay: float = DEFAULT_MAX_DELAY,
+        max_delay: "float | str" = DEFAULT_MAX_DELAY,
         on_error=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
-        if max_delay < 0:
+        if isinstance(max_delay, str):
+            if max_delay != "auto":
+                raise ValueError(
+                    f"max_delay must be a non-negative number or 'auto', "
+                    f"not {max_delay!r}"
+                )
+        elif max_delay < 0:
             raise ValueError("max_delay must be non-negative")
         self._execute = execute
         self._on_error = on_error
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self._auto_delay = max_delay == "auto"
+        self._ewma_gap: float | None = None
+        self._last_arrival: float | None = None
         self._cond = threading.Condition()
         self._queue: deque = deque()
         self._thread: threading.Thread | None = None
@@ -111,6 +149,8 @@ class CoalescingScheduler:
         with self._cond:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            if self._auto_delay:
+                self._observe_arrival(time.monotonic())
             self._queue.extend(jobs)
             self.jobs_submitted += len(jobs)
             if self._thread is None:
@@ -121,6 +161,55 @@ class CoalescingScheduler:
                 )
                 self._thread.start()
             self._cond.notify_all()
+
+    def _observe_arrival(self, now: float) -> None:
+        """Feed one submission timestamp into the inter-arrival EWMA.
+
+        Called with the lock held (``"auto"`` mode only).  A whole
+        ``submit_many`` burst counts as one arrival: the burst already
+        travels together, so only the gap *between* independent
+        submitters carries coalescing information.
+        """
+        if self._last_arrival is not None:
+            # Clamp the observation: any gap at or beyond the cap means
+            # "too sparse to coalesce" and nothing more — feeding the
+            # raw length of an idle spell into the EWMA would keep the
+            # window disabled for dozens of arrivals after dense
+            # traffic resumes.
+            gap = min(now - self._last_arrival, AUTO_DELAY_MAX)
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                self._ewma_gap += AUTO_EWMA_ALPHA * (gap - self._ewma_gap)
+        self._last_arrival = now
+
+    def _effective_delay(self) -> float:
+        """The coalescing window the next drain should hold open."""
+        if not self._auto_delay:
+            return self.max_delay
+        if self._ewma_gap is None:
+            # No gap observed yet: start from the static default.
+            return DEFAULT_MAX_DELAY
+        if self._ewma_gap >= 0.9 * AUTO_DELAY_MAX:
+            # Sparse traffic: no companion would arrive inside the
+            # latency budget, so holding the window open only adds
+            # latency.  The threshold sits below the cap because
+            # observations are clamped *to* the cap — an EWMA fed
+            # nothing but clamped gaps approaches AUTO_DELAY_MAX
+            # asymptotically and would otherwise never be recognised
+            # as sparse after any dense spell.
+            return 0.0
+        return min(
+            AUTO_DELAY_MAX,
+            max(AUTO_DELAY_MIN, AUTO_DELAY_MULTIPLIER * self._ewma_gap),
+        )
+
+    @property
+    def effective_max_delay(self) -> float:
+        """The coalescing window currently in force (numeric even in
+        ``"auto"`` mode)."""
+        with self._cond:
+            return self._effective_delay()
 
     def kick(self) -> None:
         """Close the coalescing window for everything queued so far.
@@ -198,12 +287,13 @@ class CoalescingScheduler:
                     return  # closed and drained
                 # Coalescing window: hold the batch open for stragglers
                 # unless an unexpired kick covers queued jobs.
+                delay = self._effective_delay()
                 if (
-                    self.max_delay > 0
+                    delay > 0
                     and not self._kick_active()
                     and not self._closed
                 ):
-                    deadline = time.monotonic() + self.max_delay
+                    deadline = time.monotonic() + delay
                     while (
                         len(self._queue) < self.max_batch
                         and not self._kick_active()

@@ -132,7 +132,9 @@ class PPVService:
     max_batch:
         Requests coalesced into one scheduler drain.
     max_delay:
-        Seconds a drain holds its batch open for concurrent arrivals.
+        Seconds a drain holds its batch open for concurrent arrivals,
+        or ``"auto"`` to tune the window from the observed arrival rate
+        (see :class:`~repro.serving.scheduler.CoalescingScheduler`).
     """
 
     def __init__(
@@ -140,7 +142,7 @@ class PPVService:
         engine: Engine,
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_batch: int = DEFAULT_MAX_BATCH,
-        max_delay: float = DEFAULT_MAX_DELAY,
+        max_delay: "float | str" = DEFAULT_MAX_DELAY,
     ) -> None:
         self.engine = engine
         self.cache = PopularityCache(cache_size)
@@ -155,6 +157,12 @@ class PPVService:
             on_error=self._fail_jobs,
         )
         self._submitted = 0
+        self._closed = False
+        # Live streaming jobs, so close() can cancel them instead of
+        # letting an abandoned iterator run its query to completion on
+        # the drain thread.
+        self._streams_lock = threading.Lock()
+        self._active_streams: set[_StreamJob] = set()
 
     # ------------------------------------------------------------------ #
     # Construction / lifecycle
@@ -169,7 +177,7 @@ class PPVService:
         graph_store=None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_batch: int = DEFAULT_MAX_BATCH,
-        max_delay: float = DEFAULT_MAX_DELAY,
+        max_delay: "float | str" = DEFAULT_MAX_DELAY,
         **engine_kwargs,
     ) -> "PPVService":
         """Open a service over an index (memory) or stores (disk).
@@ -214,7 +222,20 @@ class PPVService:
         self.close()
 
     def close(self) -> None:
-        """Drain pending requests, stop the scheduler, release stores."""
+        """Drain pending requests, stop the scheduler, release stores.
+
+        Idempotent.  Live streaming iterators are cancelled first: their
+        queries stop at the next iteration boundary (each open stream
+        still receives its terminal sentinel, so a consumer blocked on
+        the iterator wakes up and finishes cleanly) rather than running
+        abandoned work to completion while ``close`` waits.
+        """
+        with self._streams_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for job in self._active_streams:
+                job.cancel.set()
         self._scheduler.close()
         self.engine.close()
 
@@ -290,7 +311,21 @@ class PPVService:
         out: "queue.Queue" = queue.Queue()
         cancel = threading.Event()
         self._submitted += 1
-        self._scheduler.submit(_StreamJob(spec, handle, out, cancel))
+        job = _StreamJob(spec, handle, out, cancel)
+        with self._streams_lock:
+            # Checked under the same lock close() takes before
+            # cancelling, so a stream can never slip in between close's
+            # cancellation sweep and the scheduler actually closing —
+            # it either registers in time to be cancelled or raises.
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._active_streams.add(job)
+        try:
+            self._scheduler.submit(job)
+        except BaseException:
+            with self._streams_lock:
+                self._active_streams.discard(job)
+            raise
         self._scheduler.kick()
 
         def snapshots() -> Iterator[QuerySnapshot]:
@@ -404,13 +439,14 @@ class PPVService:
         except BaseException as error:
             self._fail_jobs(jobs, error)
 
-    @staticmethod
-    def _fail_jobs(jobs, error: BaseException) -> None:
+    def _fail_jobs(self, jobs, error: BaseException) -> None:
         """Resolve every unresolved handle in ``jobs`` with ``error``."""
         for job in jobs:
             if not job.handle.done():
                 job.handle._set_error(error)
             if isinstance(job, _StreamJob):
+                with self._streams_lock:
+                    self._active_streams.discard(job)
                 job.out.put(_STREAM_DONE)
 
     def _serve_jobs_inner(self, jobs) -> None:
@@ -548,4 +584,6 @@ class PPVService:
         except BaseException as error:
             job.handle._set_error(error)
         finally:
+            with self._streams_lock:
+                self._active_streams.discard(job)
             job.out.put(_STREAM_DONE)

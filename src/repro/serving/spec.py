@@ -136,17 +136,47 @@ class QueryHandle:
     any execution error).
     """
 
-    __slots__ = ("spec", "_event", "_result", "_error")
+    __slots__ = ("spec", "_event", "_result", "_error", "_callbacks")
 
     def __init__(self, spec: QuerySpec) -> None:
         self.spec = spec
         self._event = threading.Event()
         self._result = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
 
     def done(self) -> bool:
         """Whether the result (or an error) is available."""
         return self._event.is_set()
+
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(handle)`` once the handle resolves.
+
+        Runs on the scheduler's drain thread (or immediately on the
+        calling thread when the handle is already done), so callbacks
+        must be cheap and must not block — hand off to your own event
+        loop, e.g. ``loop.call_soon_threadsafe``.  This is the bridge
+        the asyncio TCP server (:mod:`repro.server`) uses to await
+        handles without parking a thread per request.  Callback
+        exceptions are suppressed: a broken observer must not poison
+        the drain thread serving everyone else's batch.
+        """
+        self._callbacks.append(callback)
+        if self._event.is_set():
+            self._invoke_callbacks()
+
+    def _invoke_callbacks(self) -> None:
+        while True:
+            try:
+                # pop() is atomic, so a registration racing the resolve
+                # fires its callback on exactly one of the two threads.
+                callback = self._callbacks.pop(0)
+            except IndexError:
+                return
+            try:
+                callback(self)
+            except Exception:
+                pass
 
     def result(self, timeout: float | None = None):
         """Block until served and return the backend's result object.
@@ -173,10 +203,12 @@ class QueryHandle:
     def _set_result(self, result) -> None:
         self._result = result
         self._event.set()
+        self._invoke_callbacks()
 
     def _set_error(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+        self._invoke_callbacks()
 
 
 @dataclass(frozen=True, eq=False)

@@ -96,3 +96,64 @@ class TestFromEdges:
     def test_empty_no_num_nodes(self):
         graph = from_edges([])
         assert graph.num_nodes == 0
+
+
+class TestProcessExecutorBuild:
+    """``build_index(..., executor="process")``: the GIL-escaping
+    offline build must be entry-wise identical to the serial one."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro import social_graph
+
+        return social_graph(num_nodes=250, edges_per_node=3, seed=9)
+
+    @pytest.fixture(scope="class")
+    def hubs(self, graph):
+        from repro import select_hubs
+
+        return select_hubs(graph, num_hubs=25)
+
+    @staticmethod
+    def _assert_indexes_identical(left, right):
+        import numpy as np
+
+        assert sorted(left.entries) == sorted(right.entries)
+        assert np.array_equal(left.hub_mask, right.hub_mask)
+        for hub, entry in left.entries.items():
+            other = right.entries[hub]
+            assert np.array_equal(entry.nodes, other.nodes)
+            assert np.array_equal(entry.scores, other.scores)
+            assert np.array_equal(entry.border_hubs, other.border_hubs)
+            assert np.array_equal(entry.border_masses, other.border_masses)
+        assert left.stats.stored_entries == right.stats.stored_entries
+        assert left.stats.stored_bytes == right.stats.stored_bytes
+        assert left.stats.border_entries == right.stats.border_entries
+        assert left.stats.num_hubs == right.stats.num_hubs
+
+    def test_process_pool_matches_serial(self, graph, hubs):
+        from repro import build_index
+
+        serial = build_index(graph, hubs)
+        process = build_index(graph, hubs, workers=2, executor="process")
+        self._assert_indexes_identical(serial, process)
+
+    def test_process_pool_matches_thread_pool(self, graph, hubs):
+        from repro import build_index
+
+        threaded = build_index(graph, hubs, workers=2, executor="thread")
+        process = build_index(graph, hubs, workers=3, executor="process")
+        self._assert_indexes_identical(threaded, process)
+
+    def test_single_worker_ignores_executor_choice(self, graph, hubs):
+        from repro import build_index
+
+        serial = build_index(graph, hubs)
+        process = build_index(graph, hubs, workers=1, executor="process")
+        self._assert_indexes_identical(serial, process)
+
+    def test_unknown_executor_rejected(self, graph, hubs):
+        from repro import build_index
+
+        with pytest.raises(ValueError, match="executor"):
+            build_index(graph, hubs, workers=2, executor="rayon")

@@ -279,6 +279,74 @@ class TestServe:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_stdio_refuses_tcp_only_verbs(self, graph_file, index_file,
+                                          tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"id": 1, "verb": "stats"}\n{"id": 2, "node": 3}\n'
+        )
+        code = main(
+            ["serve", str(graph_file), str(index_file),
+             "--requests", str(requests)]
+        )
+        assert code == 0
+        responses, _err = self._responses(capsys)
+        assert "only available over --tcp" in responses[0]["error"]
+        assert responses[1]["iterations"] == 2
+
+    def test_explicit_stdio_flag_and_auto_delay(self, graph_file,
+                                                index_file, tmp_path,
+                                                capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"id": 1, "node": 7}\n')
+        code = main(
+            ["serve", str(graph_file), str(index_file), "--stdio",
+             "--requests", str(requests), "--max-delay", "auto",
+             "--cache-size", "0"]
+        )
+        assert code == 0
+        responses, _err = self._responses(capsys)
+        assert responses[0]["iterations"] == 2
+
+    def test_workers_require_tcp(self, graph_file, index_file, capsys):
+        code = main(
+            ["serve", str(graph_file), str(index_file), "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers needs --tcp" in capsys.readouterr().err
+
+    def test_bad_tcp_address_rejected(self, graph_file, index_file,
+                                      capsys):
+        code = main(
+            ["serve", str(graph_file), str(index_file), "--tcp", "7474"]
+        )
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_bad_max_inflight_rejected(self, graph_file, index_file,
+                                       capsys):
+        code = main(
+            ["serve", str(graph_file), str(index_file),
+             "--tcp", "127.0.0.1:0", "--max-inflight", "0"]
+        )
+        assert code == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_bad_max_delay_rejected(self, graph_file, index_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["serve", str(graph_file), str(index_file),
+                 "--max-delay", "sometimes"]
+            )
+
+    def test_stdio_and_tcp_are_mutually_exclusive(self, graph_file,
+                                                  index_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["serve", str(graph_file), str(index_file), "--stdio",
+                 "--tcp", "127.0.0.1:0"]
+            )
+
 
 class TestAutotune:
     def test_recommends(self, graph_file, capsys):

@@ -1,5 +1,6 @@
 """CoalescingScheduler unit behaviour: executor-failure propagation
-(no silently dropped batches) and per-window kick semantics."""
+(no silently dropped batches), per-window kick semantics, and the
+adaptive (``max_delay="auto"``) coalescing window."""
 
 from __future__ import annotations
 
@@ -8,7 +9,13 @@ import time
 
 import pytest
 
-from repro.serving.scheduler import CoalescingScheduler
+from repro.serving.scheduler import (
+    AUTO_DELAY_MAX,
+    AUTO_DELAY_MIN,
+    AUTO_DELAY_MULTIPLIER,
+    DEFAULT_MAX_DELAY,
+    CoalescingScheduler,
+)
 
 
 class TestExecutorFailure:
@@ -197,3 +204,176 @@ class TestKickWindow:
         finally:
             scheduler.close()
         assert batches == [["first"], ["second"]]
+
+
+class TestAdaptiveDelay:
+    """``max_delay="auto"``: the EWMA-tuned coalescing window."""
+
+    def test_rejects_other_strings(self):
+        with pytest.raises(ValueError, match="auto"):
+            CoalescingScheduler(lambda jobs: None, max_delay="adaptive")
+
+    def test_static_path_is_pinned_unchanged(self):
+        """A numeric max_delay must be entirely unaffected by the
+        arrival-rate estimator: the effective window IS the configured
+        value, before and after traffic (the ROADMAP follow-up's
+        compatibility contract)."""
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay=0.002)
+        try:
+            assert scheduler.effective_max_delay == 0.002
+            for _ in range(20):
+                scheduler.submit("job")
+            scheduler.flush(timeout=5)
+            assert scheduler.effective_max_delay == 0.002
+            # The estimator is not even fed on the static path.
+            assert scheduler._ewma_gap is None
+        finally:
+            scheduler.close()
+
+    def test_auto_starts_from_the_static_default(self):
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            assert scheduler.max_delay == "auto"
+            assert scheduler.effective_max_delay == DEFAULT_MAX_DELAY
+        finally:
+            scheduler.close()
+
+    def test_dense_traffic_opens_a_proportional_window(self):
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            # Synthetic arrivals 0.3 ms apart (fed directly so the test
+            # is immune to wall-clock jitter).
+            with scheduler._cond:
+                for k in range(50):
+                    scheduler._observe_arrival(k * 0.0003)
+            expected = AUTO_DELAY_MULTIPLIER * scheduler._ewma_gap
+            assert scheduler.effective_max_delay == pytest.approx(expected)
+            assert (
+                AUTO_DELAY_MIN
+                <= scheduler.effective_max_delay
+                <= AUTO_DELAY_MAX
+            )
+        finally:
+            scheduler.close()
+
+    def test_very_dense_traffic_clamps_to_the_floor(self):
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            with scheduler._cond:
+                for k in range(50):
+                    scheduler._observe_arrival(k * 1e-6)
+            assert scheduler.effective_max_delay == AUTO_DELAY_MIN
+        finally:
+            scheduler.close()
+
+    def test_sparse_traffic_disables_the_wait(self):
+        """Traffic slower than the latency budget gains nothing from
+        coalescing, so the window collapses to zero instead of taxing
+        every request with the full cap."""
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            with scheduler._cond:
+                for k in range(10):
+                    scheduler._observe_arrival(k * 0.5)
+            assert scheduler.effective_max_delay == 0.0
+        finally:
+            scheduler.close()
+
+    def test_dense_then_sparse_reaches_the_zero_wait_branch(self):
+        """After dense traffic, a closed-loop/sparse client must get
+        back to the no-wait regime within a handful of requests — the
+        clamped EWMA approaches the cap asymptotically, so the sparse
+        test has to trigger below it."""
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            with scheduler._cond:
+                now = 0.0
+                for _ in range(50):
+                    now += 0.0003
+                    scheduler._observe_arrival(now)
+                assert scheduler._effective_delay() > 0.0
+                zero_after = None
+                for k in range(1, 31):
+                    now += 0.05  # sparse: 50 ms between requests
+                    scheduler._observe_arrival(now)
+                    if scheduler._effective_delay() == 0.0:
+                        zero_after = k
+                        break
+                assert zero_after is not None and zero_after <= 15
+        finally:
+            scheduler.close()
+
+    def test_idle_spell_does_not_poison_the_estimator(self):
+        """An idle gap is clamped to the cap before entering the EWMA:
+        when dense traffic resumes, the window must recover within a
+        few arrivals instead of staying disabled while a minutes-long
+        observation decays out of the average."""
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            with scheduler._cond:
+                now = 0.0
+                for _ in range(50):
+                    now += 0.0003
+                    scheduler._observe_arrival(now)
+                now += 600.0  # ten minutes of silence
+                scheduler._observe_arrival(now)
+                recovered_after = None
+                for k in range(1, 11):
+                    now += 0.0003
+                    scheduler._observe_arrival(now)
+                    if scheduler._effective_delay() > 0.0:
+                        recovered_after = k
+                        break
+                assert recovered_after is not None and recovered_after <= 5
+        finally:
+            scheduler.close()
+
+    def test_ewma_tracks_a_rate_change(self):
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            with scheduler._cond:
+                now = 0.0
+                for _ in range(50):
+                    now += 0.5
+                    scheduler._observe_arrival(now)
+                assert scheduler._effective_delay() == 0.0
+                for _ in range(100):
+                    now += 0.0005
+                    scheduler._observe_arrival(now)
+                assert 0.0 < scheduler._effective_delay() <= AUTO_DELAY_MAX
+        finally:
+            scheduler.close()
+
+    def test_burst_counts_as_one_arrival(self):
+        scheduler = CoalescingScheduler(lambda jobs: None, max_delay="auto")
+        try:
+            scheduler.submit_many(list(range(64)))
+            # One submit_many call: no inter-arrival gap observed yet.
+            assert scheduler._ewma_gap is None
+            scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+
+    def test_adaptive_delay_serves_correctly_end_to_end(self):
+        served: list = []
+        scheduler = CoalescingScheduler(served.extend, max_delay="auto")
+        try:
+            scheduler.submit_many([1, 2, 3])
+            scheduler.submit(4)
+            scheduler.flush(timeout=5)
+        finally:
+            scheduler.close()
+        assert sorted(served) == [1, 2, 3, 4]
+
+    def test_service_passes_auto_through(self, small_social,
+                                         small_social_index):
+        # Thin integration check: the facade hands the mode to its
+        # scheduler and still serves correctly.
+        from repro.serving import PPVService, QuerySpec
+
+        with PPVService.open(
+            small_social_index, graph=small_social, max_delay="auto"
+        ) as service:
+            assert service._scheduler.max_delay == "auto"
+            result = service.query(QuerySpec(7))
+            assert result.iterations == 2

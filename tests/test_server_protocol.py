@@ -1,0 +1,185 @@
+"""Unit behaviour of the wire protocol (:mod:`repro.server.protocol`):
+request parsing/validation, spec translation, and rendering."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.query import (
+    StopAfterIterations,
+    StopAfterTime,
+    StopAtL1Error,
+)
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+from repro.serving.spec import DEFAULT_TOPK_BUDGET, QuerySpec
+
+
+class TestParseRequest:
+    def test_round_trip(self):
+        request = protocol.parse_request(b'{"id": 1, "node": 7}')
+        assert request == {"id": 1, "node": 7}
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"{broken", b"", b"null", b"42", b'"text"', b"[1, 2]", b"true"],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.parse_request(line)
+        assert excinfo.value.code == protocol.E_MALFORMED
+
+    def test_invalid_utf8_is_malformed(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.parse_request(b'\xff\xfe{"id": 1}')
+        assert excinfo.value.code == protocol.E_MALFORMED
+
+    def test_version_check_accepts_current_and_default(self):
+        protocol.check_version({"v": protocol.PROTOCOL_VERSION})
+        protocol.check_version({})  # version omitted: assumed current
+
+    @pytest.mark.parametrize("version", [0, 2, "1", None])
+    def test_version_check_refuses_others(self, version):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.check_version({"v": version})
+        assert excinfo.value.code == protocol.E_UNSUPPORTED_VERSION
+
+    def test_protocol_error_is_a_value_error(self):
+        # The stdio loop reports plain messages; the subclassing keeps
+        # its generic except clauses working.
+        assert issubclass(ProtocolError, ValueError)
+
+
+class TestRequestVerb:
+    def test_defaults_to_query(self):
+        assert protocol.request_verb({}) == "query"
+
+    @pytest.mark.parametrize("verb", list(protocol.VERBS))
+    def test_known_verbs(self, verb):
+        assert protocol.request_verb({"verb": verb}) == verb
+
+    @pytest.mark.parametrize("verb", ["frobnicate", "", 7, None])
+    def test_unknown_verbs(self, verb):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.request_verb({"verb": verb})
+        assert excinfo.value.code == protocol.E_UNKNOWN_VERB
+
+
+class TestSpecFromRequest:
+    def test_single_node_defaults(self):
+        spec = protocol.spec_from_request({"node": 7})
+        assert spec.nodes == (7,)
+        assert spec.resolved_stop() == StopAfterIterations(2)
+
+    def test_eta_and_error_and_time_conditions(self):
+        spec = protocol.spec_from_request(
+            {"node": 3, "eta": 5, "target_error": 0.01, "time_limit": 0.5}
+        )
+        conditions = spec.stop.conditions
+        assert StopAfterIterations(5) in conditions
+        assert StopAtL1Error(0.01) in conditions
+        assert StopAfterTime(0.5) in conditions
+
+    def test_weighted_node_set(self):
+        spec = protocol.spec_from_request(
+            {"nodes": [3, 9], "weights": [2, 1]}
+        )
+        assert spec.nodes == (3, 9)
+        np.testing.assert_allclose(spec.weight_array(), [2 / 3, 1 / 3])
+
+    def test_top_k_with_default_budget(self):
+        spec = protocol.spec_from_request({"node": 1, "top_k": 10})
+        assert spec.top_k == 10
+        assert spec.top_k_budget == DEFAULT_TOPK_BUDGET
+
+    def test_top_k_budget(self):
+        spec = protocol.spec_from_request(
+            {"node": 1, "top_k": 10, "budget": 4}
+        )
+        assert spec.top_k_budget == 4
+
+    @pytest.mark.parametrize(
+        "request_body",
+        [
+            {},  # no node at all
+            {"node": "seven"},
+            {"nodes": []},
+            {"node": 1, "eta": "fast"},
+            {"node": 1, "top_k": 0},
+            {"node": 1, "top_k": 5, "budget": -1},
+            {"nodes": [1, 2], "weights": [1, -2]},
+        ],
+    )
+    def test_invalid_requests(self, request_body):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.spec_from_request(request_body)
+        assert excinfo.value.code == protocol.E_INVALID
+
+
+class TestRendering:
+    def test_encode_is_one_line(self):
+        payload = protocol.encode({"id": 1, "ok": True})
+        assert payload.endswith(b"\n")
+        assert payload.count(b"\n") == 1
+        assert json.loads(payload) == {"id": 1, "ok": True}
+
+    def test_error_response_shape(self):
+        response = protocol.error_response(9, protocol.E_INVALID, "nope")
+        assert response == {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": 9,
+            "ok": False,
+            "error": {"code": protocol.E_INVALID, "message": "nope"},
+        }
+
+    def test_ok_response_omits_null_result(self):
+        assert "result" not in protocol.ok_response(1)
+        assert protocol.ok_response(1, {"x": 2})["result"] == {"x": 2}
+
+    def test_render_result_memory_plain(self, small_social,
+                                        small_social_index):
+        from repro.serving import PPVService, QuerySpec as Spec
+
+        with PPVService.open(
+            small_social_index, graph=small_social
+        ) as service:
+            spec = Spec(7)
+            result = service.query(spec)
+        payload = protocol.render_result(spec, result, top=5)
+        assert payload["nodes"] == [7]
+        assert payload["iterations"] == result.iterations
+        assert payload["l1_error"] == result.l1_error
+        assert len(payload["top"]) == 5
+        node, score = payload["top"][0]
+        assert score == float(result.scores[node])
+        # JSON round-trip preserves the float bit pattern.
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_render_snapshot_carries_certificate(self):
+        from repro.serving.spec import QuerySnapshot
+
+        snapshot = QuerySnapshot(
+            iteration=1,
+            l1_error=0.25,
+            frontier_size=3,
+            scores=np.array([0.5, 0.25, 0.0, 0.125]),
+            certified=False,
+        )
+        frame = protocol.render_snapshot(snapshot, top=2)
+        assert frame["iteration"] == 1
+        assert frame["certified"] is False
+        assert frame["top"] == [[0, 0.5], [1, 0.25]]
+
+    def test_render_snapshot_plain_has_no_certificate(self):
+        from repro.serving.spec import QuerySnapshot
+
+        snapshot = QuerySnapshot(
+            iteration=0,
+            l1_error=0.5,
+            frontier_size=1,
+            scores=np.array([1.0, 0.0]),
+        )
+        assert "certified" not in protocol.render_snapshot(snapshot, top=1)

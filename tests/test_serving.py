@@ -4,6 +4,7 @@ engine calls (pinned bitwise), coalescing, handles, and streaming."""
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -607,3 +608,79 @@ class TestMultiNodeSpecs:
             QuerySpec(1, stop=STOP, top_k=5)
         with pytest.raises(ValueError):
             QuerySpec(1, top_k=0)
+
+
+class TestCloseStreamInteraction:
+    """PR-5 audit: closing the service with live streaming iterators
+    must cancel them cleanly, never hang, and be idempotent."""
+
+    class _SlowNeverStop:
+        """Never stops on its own; each check costs ~20 ms, so a
+        32-iteration query takes >600 ms unless cancellation cuts in."""
+
+        def should_stop(self, state) -> bool:
+            time.sleep(0.02)
+            return False
+
+    def test_close_cancels_a_live_stream(self, small_social,
+                                         small_social_index):
+        service = PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4
+        )
+        spec = QuerySpec(7, stop=self._SlowNeverStop())
+        iterator = service.stream(spec)
+        first = next(iterator)
+        assert first.iteration == 0
+        started = time.monotonic()
+        service.close()
+        elapsed = time.monotonic() - started
+        # The cancellable stop fires at the next iteration boundary:
+        # close() must not sit through the full iteration budget.
+        assert elapsed < 2.0, f"close() blocked for {elapsed:.2f}s"
+        remaining = list(iterator)
+        assert len(remaining) <= 2
+
+    def test_close_is_idempotent(self, small_social, small_social_index):
+        service = PPVService.open(small_social_index, graph=small_social)
+        assert service.query(QuerySpec(3)).iterations == 2
+        service.close()
+        service.close()  # second close is a no-op, not an error
+
+    def test_close_with_queued_streams_resolves_all_iterators(
+        self, small_social, small_social_index
+    ):
+        service = PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4
+        )
+        iterators = [
+            service.stream(QuerySpec(node, stop=StopAfterIterations(1)))
+            for node in (3, 7, 11, 19)
+        ]
+        service.close()
+        # Every iterator terminates (frames then the internal DONE
+        # sentinel) instead of hanging on a dead drain thread.
+        for iterator in iterators:
+            assert len(list(iterator)) <= 2
+
+    def test_stream_after_close_raises(self, small_social,
+                                       small_social_index):
+        service = PPVService.open(small_social_index, graph=small_social)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.stream(QuerySpec(3))
+        # The failed submission must not leak into the live-stream set.
+        assert not service._active_streams
+
+    def test_closing_the_iterator_unregisters_the_stream(
+        self, small_social, small_social_index
+    ):
+        with PPVService.open(
+            small_social_index, graph=small_social, delta=1e-4
+        ) as service:
+            iterator = service.stream(QuerySpec(7))
+            next(iterator)
+            iterator.close()
+            deadline = time.monotonic() + 5
+            while service._active_streams and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not service._active_streams
