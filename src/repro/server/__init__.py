@@ -22,8 +22,13 @@ The CLI front door is ``repro serve --tcp HOST:PORT [--workers N]``
 (and ``repro serve --stdio`` for the single-process pipe loop).
 """
 
-from repro.server.client import PPVClient, ProtocolViolation, ServerError
-from repro.server.pool import open_listen_socket, run_pool
+from repro.server.client import (
+    ClientTimeout,
+    PPVClient,
+    ProtocolViolation,
+    ServerError,
+)
+from repro.server.pool import ServerPool, open_listen_socket, run_pool
 from repro.server.server import (
     PPVServer,
     ServerConfig,
@@ -37,6 +42,8 @@ __all__ = [
     "ServerConfig",
     "ServerCounters",
     "ServerError",
+    "ServerPool",
+    "ClientTimeout",
     "ProtocolViolation",
     "open_listen_socket",
     "run_pool",

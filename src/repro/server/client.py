@@ -39,16 +39,62 @@ class ProtocolViolation(RuntimeError):
     """The peer broke the wire protocol (not a structured error)."""
 
 
+class ClientTimeout(TimeoutError):
+    """A connect or reply deadline expired.
+
+    After a *read* timeout the connection is unusable — the reply may
+    still arrive and would be misread as the answer to the next request
+    — so the client marks itself broken and every further request
+    raises.  Reconnect with a fresh :class:`PPVClient`.
+    """
+
+
 class PPVClient:
     """One connection to a :class:`~repro.server.PPVServer`.
 
     Not thread-safe: share nothing, or give each thread its own client.
+
+    Parameters
+    ----------
+    timeout:
+        Read/write deadline in seconds (``None``: block forever).  A
+        hung or dead server surfaces as :class:`ClientTimeout` instead
+        of blocking ``query()`` indefinitely.
+    connect_timeout:
+        Deadline for establishing the connection; defaults to
+        ``timeout``.  A refused or unreachable server raises the usual
+        ``ConnectionError``/``OSError``; a silent one raises
+        :class:`ClientTimeout`.
+    fault_plan:
+        Tests only: a :class:`repro.faults.FaultPlan` with the
+        ``client.connect`` / ``client.send`` / ``client.recv`` sites.
     """
 
     def __init__(
-        self, host: str, port: int, timeout: float | None = 60.0
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        connect_timeout: float | None = None,
+        fault_plan=None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.fault_plan = fault_plan
+        self._timeout = timeout
+        self._broken = False
+        if connect_timeout is None:
+            connect_timeout = timeout
+        if fault_plan is not None:
+            fault_plan.fire("client.connect", host=host, port=port)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except socket.timeout:
+            raise ClientTimeout(
+                f"connect to {host}:{port} timed out "
+                f"after {connect_timeout} s"
+            ) from None
+        self._sock.settimeout(timeout)
         # Request/response over small writes: Nagle + delayed ACK would
         # add tens of milliseconds per round-trip.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -75,13 +121,45 @@ class PPVClient:
         finally:
             self._sock.close()
 
+    def _check_usable(self) -> None:
+        if self._broken:
+            raise ClientTimeout(
+                "connection abandoned after an earlier timeout; "
+                "open a fresh PPVClient"
+            )
+
     def send_raw(self, payload: bytes) -> None:
         """Ship raw bytes (protocol tests: malformed/oversized lines)."""
-        self._sock.sendall(payload)
+        self._check_usable()
+        if self.fault_plan is not None:
+            self.fault_plan.fire("client.send")
+        try:
+            self._sock.sendall(payload)
+        except socket.timeout:
+            self._broken = True
+            raise ClientTimeout(
+                f"send stalled for {self._timeout} s"
+            ) from None
 
     def read_message(self) -> dict:
-        """Read one response record (whatever its id)."""
-        line = self._reader.readline()
+        """Read one response record (whatever its id).
+
+        Raises
+        ------
+        ClientTimeout
+            No reply within the client's ``timeout``; the connection is
+            marked broken (see :class:`ClientTimeout`).
+        """
+        self._check_usable()
+        if self.fault_plan is not None:
+            self.fault_plan.fire("client.recv")
+        try:
+            line = self._reader.readline()
+        except socket.timeout:
+            self._broken = True
+            raise ClientTimeout(
+                f"no reply within {self._timeout} s"
+            ) from None
         if not line:
             raise ConnectionError("server closed the connection")
         try:

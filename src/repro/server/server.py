@@ -136,6 +136,14 @@ class PPVServer:
         Transport tunables; defaults are fine for tests and benchmarks.
     worker_index:
         Cosmetic tag reported by ``stats`` in multi-worker mode.
+    fault_plan:
+        Tests only: a :class:`repro.faults.FaultPlan`.  The
+        ``server.request`` site fires per parsed request line (a
+        ``kill`` rule implements "SIGKILL this worker after m
+        requests"); ``server.send`` fires per response frame (a
+        ``torn`` rule truncates the frame and drops the connection, a
+        raising rule simulates a mid-write disconnect).  ``None`` keeps
+        both paths hook-free.
     """
 
     def __init__(
@@ -143,10 +151,12 @@ class PPVServer:
         service,
         config: ServerConfig | None = None,
         worker_index: int = 0,
+        fault_plan=None,
     ) -> None:
         self.service = service
         self.config = config or ServerConfig()
         self.worker_index = worker_index
+        self.fault_plan = fault_plan
         self.counters = ServerCounters()
         self.address: tuple | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -348,7 +358,21 @@ class PPVServer:
 
     async def _send(self, connection: _Connection, message: dict) -> None:
         async with connection.write_lock:
-            connection.writer.write(protocol.encode(message))
+            payload = protocol.encode(message)
+            if self.fault_plan is not None:
+                action = self.fault_plan.fire("server.send")
+                if action is not None and action.torn:
+                    # Write a prefix of the frame, then drop the
+                    # connection: the client sees a line with no
+                    # terminator followed by EOF — a torn frame.
+                    connection.writer.write(payload[: max(1, len(payload) // 2)])
+                    try:
+                        await connection.writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    connection.writer.close()
+                    raise ConnectionResetError("injected torn frame")
+            connection.writer.write(payload)
             await connection.writer.drain()
 
     async def _dispatch_line(self, connection: _Connection, line) -> None:
@@ -360,6 +384,10 @@ class PPVServer:
         contract — then run as a task so the connection can pipeline.
         """
         self.counters.requests_total += 1
+        if self.fault_plan is not None:
+            self.fault_plan.fire(
+                "server.request", requests=self.counters.requests_total
+            )
         request_id = None
         try:
             request = protocol.parse_request(line)
@@ -634,6 +662,9 @@ class PPVServer:
                 "cache_hits": service_stats.cache_hits,
                 "cache_misses": service_stats.cache_misses,
                 "cache_entries": service_stats.cache_entries,
+                "queue_depth": service_stats.queue_depth,
+                "in_flight": service_stats.in_flight,
+                "latency": service_stats.latency,
             },
             "worker": {"index": self.worker_index, "pid": os.getpid()},
             "backend": getattr(self.service.engine, "backend", None),

@@ -46,7 +46,7 @@ from repro.serving.engines import (
     resolve_backend,
 )
 from repro.serving.scheduler import CoalescingScheduler
-from repro.serving.service import PPVService, ServiceStats
+from repro.serving.service import LatencyHistogram, PPVService, ServiceStats
 from repro.serving.spec import QueryHandle, QuerySnapshot, QuerySpec
 
 __all__ = [
@@ -57,6 +57,7 @@ __all__ = [
     "QuerySnapshot",
     "PopularityCache",
     "CoalescingScheduler",
+    "LatencyHistogram",
     "Engine",
     "MemoryEngine",
     "DiskEngine",

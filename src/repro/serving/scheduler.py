@@ -86,6 +86,12 @@ class CoalescingScheduler:
         when ``execute`` raised, with the batch that failed.  Exceptions
         it raises itself are suppressed (the original error still
         surfaces through :meth:`flush`).
+    fault_plan:
+        Tests only: a :class:`repro.faults.FaultPlan` whose
+        ``scheduler.execute`` site fires on the drain thread just before
+        each ``execute(batch)`` call — a raising rule exercises the
+        executor-failure path, a delay rule simulates a slow drain.
+        ``None`` (the default) keeps the drain loop hook-free.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class CoalescingScheduler:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: "float | str" = DEFAULT_MAX_DELAY,
         on_error=None,
+        fault_plan=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -107,6 +114,7 @@ class CoalescingScheduler:
             raise ValueError("max_delay must be non-negative")
         self._execute = execute
         self._on_error = on_error
+        self.fault_plan = fault_plan
         self.max_batch = max_batch
         self.max_delay = max_delay
         self._auto_delay = max_delay == "auto"
@@ -211,6 +219,18 @@ class CoalescingScheduler:
         with self._cond:
             return self._effective_delay()
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet popped into a drain."""
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs popped into a drain that has not finished executing."""
+        with self._cond:
+            return self._in_flight
+
     def kick(self) -> None:
         """Close the coalescing window for everything queued so far.
 
@@ -311,6 +331,8 @@ class CoalescingScheduler:
                 self._jobs_popped += len(batch)
                 self._in_flight += len(batch)
             try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire("scheduler.execute", jobs=len(batch))
                 self._execute(batch)
             except BaseException as error:
                 # An executor-level failure must not strand the batch:

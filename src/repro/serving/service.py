@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.core.batch import batch_safe
@@ -51,9 +53,57 @@ from repro.storage.disk_engine import DiskQueryResult, DiskTopKResult
 _STREAM_DONE = object()
 
 
+DEFAULT_LATENCY_BOUNDS = (
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0,
+)
+"""Upper edges (seconds) of the coarse submit→resolve latency buckets;
+one overflow bucket catches everything beyond the last edge."""
+
+
+class LatencyHistogram:
+    """Thread-safe log-bucketed latency counts (coarse, JSON-friendly).
+
+    Each :meth:`record` lands the observation in the first bucket whose
+    upper edge is >= the value; :meth:`snapshot` returns a plain dict
+    (``bounds``/``counts``/``count``/``total_seconds``) that serialises
+    over the stats verb unchanged.
+    """
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS):
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._total_seconds = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Count one observation of ``seconds``."""
+        index = bisect_left(self.bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """Bucket counts plus totals, as one JSON-ready dict."""
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "total_seconds": self._total_seconds,
+            }
+
+
 @dataclass(frozen=True)
 class ServiceStats:
-    """Counters exposed by :meth:`PPVService.stats`."""
+    """Counters exposed by :meth:`PPVService.stats`.
+
+    ``queue_depth`` / ``in_flight`` snapshot the scheduler's admission
+    state (how much backpressure the service is under right now);
+    ``latency`` is a :meth:`LatencyHistogram.snapshot` of submit→resolve
+    times over every resolved handle.
+    """
 
     submitted: int
     batches: int
@@ -61,6 +111,9 @@ class ServiceStats:
     cache_hits: int
     cache_misses: int
     cache_entries: int
+    queue_depth: int = 0
+    in_flight: int = 0
+    latency: dict = field(default_factory=dict)
 
 
 class _CancellableStop:
@@ -135,6 +188,10 @@ class PPVService:
         Seconds a drain holds its batch open for concurrent arrivals,
         or ``"auto"`` to tune the window from the observed arrival rate
         (see :class:`~repro.serving.scheduler.CoalescingScheduler`).
+    fault_plan:
+        Tests only: a :class:`repro.faults.FaultPlan` forwarded to the
+        scheduler (its ``scheduler.execute`` site).  ``None`` keeps the
+        hot path hook-free.
     """
 
     def __init__(
@@ -143,6 +200,7 @@ class PPVService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: "float | str" = DEFAULT_MAX_DELAY,
+        fault_plan=None,
     ) -> None:
         self.engine = engine
         self.cache = PopularityCache(cache_size)
@@ -155,7 +213,9 @@ class PPVService:
             # (its own net failing), the scheduler resolves the batch's
             # handles instead of silently dropping them.
             on_error=self._fail_jobs,
+            fault_plan=fault_plan,
         )
+        self.latency = LatencyHistogram()
         self._submitted = 0
         self._closed = False
         # Live streaming jobs, so close() can cancel them instead of
@@ -178,6 +238,7 @@ class PPVService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: "float | str" = DEFAULT_MAX_DELAY,
+        fault_plan=None,
         **engine_kwargs,
     ) -> "PPVService":
         """Open a service over an index (memory) or stores (disk).
@@ -213,6 +274,7 @@ class PPVService:
             cache_size=cache_size,
             max_batch=max_batch,
             max_delay=max_delay,
+            fault_plan=fault_plan,
         )
 
     def __enter__(self) -> "PPVService":
@@ -258,6 +320,7 @@ class PPVService:
         self._validate(spec)
         handle = QueryHandle(spec)
         self._submitted += 1
+        self._track_latency(handle)
         self._scheduler.submit(_BatchJob(spec, handle))
         return handle
 
@@ -280,6 +343,8 @@ class PPVService:
             self._validate(spec)
         handles = [QueryHandle(spec) for spec in resolved]
         self._submitted += len(handles)
+        for handle in handles:
+            self._track_latency(handle)
         self._scheduler.submit_many(
             _BatchJob(spec, handle)
             for spec, handle in zip(resolved, handles)
@@ -311,6 +376,7 @@ class PPVService:
         out: "queue.Queue" = queue.Queue()
         cancel = threading.Event()
         self._submitted += 1
+        self._track_latency(handle)
         job = _StreamJob(spec, handle, out, cancel)
         with self._streams_lock:
             # Checked under the same lock close() takes before
@@ -365,6 +431,13 @@ class PPVService:
         replace(index, graph=graph)
         self.cache.clear()
 
+    def _track_latency(self, handle: QueryHandle) -> None:
+        """Record the handle's submit→resolve latency when it resolves."""
+        started = time.monotonic()
+        handle.add_done_callback(
+            lambda _handle: self.latency.record(time.monotonic() - started)
+        )
+
     def stats(self) -> ServiceStats:
         """A snapshot of the service's serving counters."""
         return ServiceStats(
@@ -374,6 +447,9 @@ class PPVService:
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
             cache_entries=len(self.cache),
+            queue_depth=self._scheduler.queue_depth,
+            in_flight=self._scheduler.in_flight,
+            latency=self.latency.snapshot(),
         )
 
     # ------------------------------------------------------------------ #

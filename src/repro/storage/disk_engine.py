@@ -102,6 +102,11 @@ class DiskGraphStore:
         deployment keeps exactly one (the Fig. 16 setting, the default);
         larger budgets trade memory for fewer faults via LRU eviction —
         the ablation of ``benchmarks/bench_fig16_disk.py``.
+    fault_plan:
+        Tests only: a :class:`repro.faults.FaultPlan` whose
+        ``graph_store.load`` site fires per cluster segment actually
+        loaded from disk.  ``None`` (the default) keeps the hot path
+        hook-free.
 
     Notes
     -----
@@ -118,6 +123,8 @@ class DiskGraphStore:
         assignment: ClusterAssignment,
         directory: str | os.PathLike[str],
         memory_budget: int = 1,
+        *,
+        fault_plan=None,
     ) -> None:
         if memory_budget < 1:
             raise ValueError("memory_budget must be at least one cluster")
@@ -128,6 +135,7 @@ class DiskGraphStore:
         self._labels_list: list[int] | None = None
         self.num_clusters = assignment.num_clusters
         self.memory_budget = memory_budget
+        self.fault_plan = fault_plan
         self.faults = 0
         # LRU cache: cluster id -> (adjacency dict, per-node list cache),
         # most recent last.  The list cache holds plain-Python spellings
@@ -156,11 +164,52 @@ class DiskGraphStore:
             path = self._cluster_path(cluster)
             np.savez(path, **adjacency)
             self._bytes_per_cluster.append(path.stat().st_size)
+        np.save(self.directory / "labels.npy", self.labels)
         manifest = {
             "num_nodes": self.num_nodes,
             "num_clusters": self.num_clusters,
         }
         (self.directory / "manifest.json").write_text(json.dumps(manifest))
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | os.PathLike[str],
+        memory_budget: int = 1,
+        *,
+        fault_plan=None,
+    ) -> "DiskGraphStore":
+        """Reopen a previously built store without the source graph.
+
+        The build persists everything :meth:`out_edges` needs (cluster
+        segments, labels, manifest), so a fresh reader over the same
+        directory — another process, or one store per test example — is
+        just metadata loads, no re-segmentation.
+        """
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be at least one cluster")
+        self = cls.__new__(cls)
+        self.directory = Path(directory)
+        manifest = json.loads((self.directory / "manifest.json").read_text())
+        self.num_nodes = int(manifest["num_nodes"])
+        self.num_clusters = int(manifest["num_clusters"])
+        labels_path = self.directory / "labels.npy"
+        if not labels_path.exists():
+            raise FileNotFoundError(
+                f"{labels_path} missing: this store predates reopenable "
+                "builds; rebuild it from the source graph"
+            )
+        self.labels = np.load(labels_path)
+        self._labels_list = None
+        self.memory_budget = memory_budget
+        self.fault_plan = fault_plan
+        self.faults = 0
+        self._cache = {}
+        self._bytes_per_cluster = [
+            self._cluster_path(cluster).stat().st_size
+            for cluster in range(self.num_clusters)
+        ]
+        return self
 
     def _cluster_path(self, cluster: int) -> Path:
         return self.directory / f"cluster_{cluster:05d}.npz"
@@ -188,6 +237,8 @@ class DiskGraphStore:
         return self._labels_list
 
     def _load_cluster(self, cluster: int) -> dict:
+        if self.fault_plan is not None:
+            self.fault_plan.fire("graph_store.load", cluster=int(cluster))
         with np.load(self._cluster_path(cluster)) as data:
             nodes = data["nodes"]
             offsets = data["offsets"]

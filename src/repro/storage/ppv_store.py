@@ -85,9 +85,15 @@ class DiskPPVStore:
     Use as a context manager or call :meth:`close` explicitly.  The
     ``reads`` counter records how many hub payloads were fetched — the I/O
     accounting of the disk-based experiments.
+
+    ``fault_plan`` (tests only) fires the ``ppv_store.read`` site before
+    each payload fetch; without a plan the hook costs one ``is None``.
     """
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(
+        self, path: str | os.PathLike[str], *, fault_plan=None
+    ) -> None:
+        self.fault_plan = fault_plan
         self._handle = open(path, "rb")
         self.alpha, self.epsilon, self.clip, self.num_nodes, num_hubs = _read_header(
             self._handle
@@ -134,6 +140,8 @@ class DiskPPVStore:
 
     def get(self, hub: int) -> PrimePPV:
         """Fetch one hub's prime PPV from disk (one seek + read)."""
+        if self.fault_plan is not None:
+            self.fault_plan.fire("ppv_store.read", hub=int(hub))
         offset, entries, borders = self._directory[int(hub)]
         self._handle.seek(offset)
         payload = self._handle.read(16 * entries + 16 * borders)

@@ -1,12 +1,38 @@
-"""Shared fixtures: the paper's running-example graph and workload graphs."""
+"""Shared fixtures: the paper's running-example graph and workload graphs.
+
+Hypothesis profiles
+-------------------
+``dev`` (default): a handful of examples per property so the tier-1 run
+stays fast.  ``ci``: 200 derandomized examples with the failing seed
+blob printed — the profile the dedicated property-test CI job pins with
+``--hypothesis-profile=ci``.  Tests that set their own ``@settings``
+override the profile, so legacy suites keep their tuned budgets.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import build_index, from_edges, select_hubs, social_graph
 from repro.graph.generators import bibliographic_graph
+
+settings.register_profile(
+    "dev",
+    max_examples=15,
+    deadline=None,
+    stateful_step_count=6,
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    stateful_step_count=8,
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile("dev")
 
 # Node naming for the paper's Fig. 1 example graph.
 A, B, C, D, E, F, G, H = range(8)

@@ -1,0 +1,702 @@
+"""Stateful lifecycle properties over the serving/server/pool stack.
+
+Four hypothesis ``RuleBasedStateMachine`` suites interleave
+submit/stream/flush/swap_index/close/kill — with deterministic faults
+from :mod:`repro.faults` thrown in — and assert the invariants the
+stack promises:
+
+* **no query silently dropped** — every handle/request resolves with a
+  result or a structured error, never a hang;
+* **served results stay correct** — vectors that do arrive are
+  bitwise-equal to a fault-free oracle run (disk backend; the memory
+  batch engine's documented ~1e-14 reassociation round-off applies
+  under differing batch composition);
+* **close() is idempotent** under concurrent streams;
+* **swap-under-load never serves a mixed-index batch** — every result
+  matches the old index's oracle or the new one's, nothing in between.
+
+Run with ``--hypothesis-profile=ci`` for the 200-example derandomized
+sweep (the dedicated CI job); the default ``dev`` profile keeps tier-1
+fast.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import (
+    FastPPV,
+    StopAfterIterations,
+    build_index,
+    from_edges,
+    select_hubs,
+)
+from repro.faults import FaultPlan, InjectedFault
+from repro.server import (
+    ClientTimeout,
+    PPVClient,
+    PPVServer,
+    ProtocolViolation,
+    ServerError,
+    ServerPool,
+)
+from repro.serving import CoalescingScheduler, PPVService, QuerySpec
+from repro.storage import (
+    DiskFastPPV,
+    DiskGraphStore,
+    DiskPPVStore,
+    cluster_graph,
+    save_index,
+)
+
+# --------------------------------------------------------------------- #
+# Shared tiny workload (Fig. 1's 8-node running example: cheap enough to
+# rebuild oracles per state, rich enough to have hubs, borders, clusters).
+
+A, B, C, D, E, F, G, H = range(8)
+FIG1_EDGES = [
+    (A, B), (A, C), (A, D), (A, F), (A, H),
+    (B, C), (B, D), (B, E),
+    (D, C), (D, E),
+    (F, D), (F, G),
+    (G, D),
+    (H, C),
+]
+
+GRAPH = from_edges(FIG1_EDGES, num_nodes=8)
+INDEX_A = build_index(GRAPH, select_hubs(GRAPH, num_hubs=3))
+INDEX_B = build_index(GRAPH, select_hubs(GRAPH, num_hubs=5))
+
+_DISK_ROOT = Path(tempfile.mkdtemp(prefix="lifecycle_disk_"))
+INDEX_A_PATH = _DISK_ROOT / "index_a.fppv"
+INDEX_B_PATH = _DISK_ROOT / "index_b.fppv"
+save_index(INDEX_A, INDEX_A_PATH)
+save_index(INDEX_B, INDEX_B_PATH)
+_STORE_DIR = _DISK_ROOT / "clusters"
+DiskGraphStore(GRAPH, cluster_graph(GRAPH, 2, seed=1), _STORE_DIR)
+
+ETAS = (1, 2)
+MEMORY_ATOL = 1e-12  # documented reassociation round-off headroom
+
+
+def _memory_oracles():
+    """Fault-free scalar results per (index, node, eta)."""
+    oracles = {}
+    for key, index in (("A", INDEX_A), ("B", INDEX_B)):
+        engine = FastPPV(GRAPH, index)
+        for node in range(GRAPH.num_nodes):
+            for eta in ETAS:
+                result = engine.query(node, stop=StopAfterIterations(eta))
+                oracles[(key, node, eta)] = result.scores.copy()
+    return oracles
+
+
+def _disk_oracles():
+    """Fault-free scalar disk results per (node, eta) — the bitwise bar."""
+    oracles = {}
+    with DiskPPVStore(INDEX_A_PATH) as store:
+        engine = DiskFastPPV(DiskGraphStore.open(_STORE_DIR), store)
+        for node in range(GRAPH.num_nodes):
+            for eta in ETAS:
+                result = engine.query(node, stop=StopAfterIterations(eta))
+                oracles[(node, eta)] = result.result.scores.copy()
+    return oracles
+
+
+MEMORY_ORACLES = _memory_oracles()
+DISK_ORACLES = _disk_oracles()
+
+nodes_st = st.integers(min_value=0, max_value=GRAPH.num_nodes - 1)
+etas_st = st.sampled_from(ETAS)
+
+
+# --------------------------------------------------------------------- #
+# 1. Scheduler machine: conservation + order under faults
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    """Jobs are conserved: every submitted job lands in exactly one
+    executed or failed batch, in admission order, whatever interleaving
+    of bursts, kicks, flushes and injected executor faults happens."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.plan = FaultPlan()
+        self.completed: list = []  # job ids in completion order
+        self.submitted: list = []
+        self.next_job = 0
+        self.scheduler = CoalescingScheduler(
+            self._execute,
+            max_batch=4,
+            max_delay=0.0005,
+            on_error=self._on_error,
+            fault_plan=self.plan,
+        )
+        self.closed = False
+
+    def _execute(self, jobs) -> None:
+        self.completed.extend(jobs)
+
+    def _on_error(self, jobs, error) -> None:
+        self.completed.extend(jobs)
+
+    @precondition(lambda self: not self.closed)
+    @rule(count=st.integers(min_value=1, max_value=5))
+    def submit_burst(self, count: int) -> None:
+        jobs = list(range(self.next_job, self.next_job + count))
+        self.next_job += count
+        self.submitted.extend(jobs)
+        self.scheduler.submit_many(jobs)
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def submit_one(self) -> None:
+        job = self.next_job
+        self.next_job += 1
+        self.submitted.append(job)
+        self.scheduler.submit(job)
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def inject_executor_fault(self) -> None:
+        # Arm one failure for an upcoming drain; the batch must still be
+        # resolved (through on_error), not dropped.
+        self.plan.on("scheduler.execute", times=1)
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def kick(self) -> None:
+        self.scheduler.kick()
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def flush(self) -> None:
+        try:
+            self.scheduler.flush(timeout=10)
+        except InjectedFault:
+            pass  # armed failure surfacing exactly once, as promised
+        assert self.scheduler.queue_depth == 0
+        assert self.scheduler.in_flight == 0
+        # Everything admitted so far has been completed, in order.
+        assert self.completed == self.submitted
+
+    @rule()
+    def close(self) -> None:
+        self.scheduler.close()
+        self.scheduler.close()  # idempotent
+        self.closed = True
+
+    @precondition(lambda self: self.closed)
+    @rule()
+    def submit_after_close_rejected(self) -> None:
+        with pytest.raises(RuntimeError):
+            self.scheduler.submit(object())
+
+    @invariant()
+    def counters_sane(self) -> None:
+        assert self.scheduler.queue_depth >= 0
+        assert self.scheduler.in_flight >= 0
+        assert self.scheduler.jobs_submitted == len(self.submitted)
+
+    def teardown(self) -> None:
+        if not self.closed:
+            self.scheduler.close()
+        # close() drains: nothing admitted may be lost.
+        assert self.completed == self.submitted
+
+
+TestSchedulerLifecycle = SchedulerMachine.TestCase
+
+
+# --------------------------------------------------------------------- #
+# 2. Service machine (memory + disk): no silent drops, oracle equality,
+#    swap never mixes indexes, close idempotent under live streams
+
+
+class _ServiceMachine(RuleBasedStateMachine):
+    backend = "memory"  # overridden by the disk subclass
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.plan = FaultPlan()
+        self.service = self._open_service()
+        # (handle, node, eta) triples not yet collected.
+        self.pending: list = []
+        self.streams: list = []
+        self.index_key = "A"
+        self.swapped = False
+        self.closed = False
+
+    # -- backend plumbing ------------------------------------------------
+
+    def _open_service(self) -> PPVService:
+        return PPVService.open(
+            INDEX_A, graph=GRAPH, fault_plan=self.plan, cache_size=8
+        )
+
+    def _oracle(self, node: int, eta: int, index_key: str) -> np.ndarray:
+        return MEMORY_ORACLES[(index_key, node, eta)]
+
+    def _matches(self, scores: np.ndarray, oracle: np.ndarray) -> bool:
+        return bool(np.allclose(scores, oracle, rtol=0.0, atol=MEMORY_ATOL))
+
+    def _scores(self, result) -> np.ndarray:
+        return result.scores
+
+    # -- rules -----------------------------------------------------------
+
+    @precondition(lambda self: not self.closed)
+    @rule(node=nodes_st, eta=etas_st)
+    def submit(self, node: int, eta: int) -> None:
+        spec = QuerySpec(node, stop=StopAfterIterations(eta))
+        self.pending.append((self.service.submit(spec), node, eta))
+
+    @precondition(lambda self: not self.closed)
+    @rule(data=st.data())
+    def submit_burst(self, data) -> None:
+        picks = data.draw(
+            st.lists(st.tuples(nodes_st, etas_st), min_size=1, max_size=4)
+        )
+        specs = [
+            QuerySpec(node, stop=StopAfterIterations(eta))
+            for node, eta in picks
+        ]
+        handles = [self.service.submit(spec) for spec in specs]
+        self.pending.extend(
+            (handle, node, eta)
+            for handle, (node, eta) in zip(handles, picks)
+        )
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def inject_engine_fault(self) -> None:
+        self.plan.on(self._engine_fault_site(), times=1)
+
+    def _engine_fault_site(self) -> str:
+        return "scheduler.execute"
+
+    @precondition(lambda self: not self.closed)
+    @rule(node=nodes_st)
+    def stream_partially(self, node: int) -> None:
+        """Open a stream, consume a frame or two, abandon it."""
+        iterator = self.service.stream(
+            QuerySpec(node, stop=StopAfterIterations(2))
+        )
+        try:
+            next(iterator)
+        except (StopIteration, InjectedFault):
+            pass
+        finally:
+            iterator.close()
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def open_stream_for_close(self) -> None:
+        """Park a stream un-consumed, so close() must cancel it."""
+        if len(self.streams) < 2:
+            self.streams.append(
+                self.service.stream(QuerySpec(0, stop=StopAfterIterations(2)))
+            )
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def flush(self) -> None:
+        try:
+            self.service.flush(timeout=10)
+        except InjectedFault:
+            pass
+        self.collect_all()
+
+    @rule()
+    def collect_some(self) -> None:
+        if not self.pending:
+            return
+        handle, node, eta = self.pending.pop(0)
+        self._check_handle(handle, node, eta)
+
+    def collect_all(self) -> None:
+        while self.pending:
+            handle, node, eta = self.pending.pop(0)
+            self._check_handle(handle, node, eta)
+
+    def _check_handle(self, handle, node: int, eta: int) -> None:
+        """The heart of the suite: resolves (never hangs), and any
+        result that arrives matches a fault-free oracle — from exactly
+        one index generation."""
+        try:
+            result = handle.result(timeout=15)
+        except TimeoutError:
+            raise AssertionError(
+                f"query ({node}, eta={eta}) silently dropped: handle "
+                "never resolved"
+            ) from None
+        except InjectedFault:
+            return  # structured failure: allowed, not a drop
+        except RuntimeError:
+            return  # e.g. submit raced close(); still structured
+        scores = self._scores(result)
+        current = self._oracle(node, eta, self.index_key)
+        if self._matches(scores, current):
+            return
+        if self.swapped:
+            # In-flight across a swap: the *previous* generation is the
+            # only other legal answer — anything else is a mixed batch.
+            for other in ("A", "B"):
+                if other != self.index_key and self._matches(
+                    scores, self._oracle(node, eta, other)
+                ):
+                    return
+        raise AssertionError(
+            f"query ({node}, eta={eta}) does not match any single-index "
+            f"oracle (current {self.index_key!r}, swapped={self.swapped})"
+        )
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def swap_index(self) -> None:
+        if not self._supports_swap():
+            return
+        target_key = "B" if self.index_key == "A" else "A"
+        target = INDEX_B if target_key == "B" else INDEX_A
+        try:
+            self.service.update_index(target)
+        except InjectedFault:
+            return  # flush surfaced an armed fault; index unchanged
+        self.index_key = target_key
+        self.swapped = True
+
+    def _supports_swap(self) -> bool:
+        return True
+
+    @precondition(lambda self: not self.closed)
+    @rule()
+    def close(self) -> None:
+        self.service.close()
+        self.service.close()  # idempotent, with streams still open
+        self.closed = True
+        # Closing drained the queue: every pending handle must resolve.
+        self.collect_all()
+        # Parked streams were cancelled but still terminated cleanly
+        # (each receives its terminal sentinel — never a hang).
+        for iterator in self.streams:
+            try:
+                for _ in iterator:
+                    pass
+            except InjectedFault:
+                pass
+        self.streams.clear()
+
+    def teardown(self) -> None:
+        if not self.closed:
+            self.close()
+        else:
+            self.service.close()  # idempotent again, after everything
+        self.collect_all()
+
+
+class MemoryServiceMachine(_ServiceMachine):
+    backend = "memory"
+
+
+class DiskServiceMachine(_ServiceMachine):
+    backend = "disk"
+
+    def _open_service(self) -> PPVService:
+        ppv_store = DiskPPVStore(INDEX_A_PATH, fault_plan=self.plan)
+        graph_store = DiskGraphStore.open(_STORE_DIR, fault_plan=self.plan)
+        return PPVService.open(
+            ppv_store,
+            graph_store=graph_store,
+            fault_plan=self.plan,
+            cache_size=8,
+        )
+
+    def _oracle(self, node: int, eta: int, index_key: str) -> np.ndarray:
+        return DISK_ORACLES[(node, eta)]
+
+    def _matches(self, scores: np.ndarray, oracle: np.ndarray) -> bool:
+        # Disk serving is schedule-independent: bitwise, no tolerance.
+        return bool(np.array_equal(scores, oracle))
+
+    def _scores(self, result) -> np.ndarray:
+        return result.result.scores  # DiskQueryResult wraps QueryResult
+
+    def _engine_fault_site(self) -> str:
+        return "ppv_store.read"
+
+    def _supports_swap(self) -> bool:
+        return False  # the disk backend cannot swap indexes in place
+
+
+TestMemoryServiceLifecycle = MemoryServiceMachine.TestCase
+TestDiskServiceLifecycle = DiskServiceMachine.TestCase
+
+
+# --------------------------------------------------------------------- #
+# 3. TCP server machine: every request answered or structured error,
+#    server survives torn frames / malformed lines / swaps / disconnects
+
+
+class ServerMachine(RuleBasedStateMachine):
+    MAX_CLIENTS = 3
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.plan = FaultPlan()
+        self.service = PPVService.open(INDEX_A, graph=GRAPH, cache_size=8)
+        self.server = PPVServer(self.service, fault_plan=self.plan)
+        self.context = self.server.background()
+        self.address = self.context.__enter__()
+        self.clients: list = []
+        self.index_key = "A"
+        self.swapped = False
+
+    def _client(self) -> PPVClient:
+        if not self.clients:
+            self.clients.append(PPVClient(*self.address, timeout=15))
+        return self.clients[0]
+
+    def _drop_client(self, client: PPVClient) -> None:
+        try:
+            client.close()
+        except OSError:
+            pass
+        if client in self.clients:
+            self.clients.remove(client)
+
+    def _check_payload(self, node: int, eta: int, payload: dict) -> None:
+        assert payload["iterations"] <= eta
+        tops = dict(
+            (int(n), float(s)) for n, s in payload["top"]
+        )
+        for key in ("A", "B") if self.swapped else (self.index_key,):
+            oracle = MEMORY_ORACLES[(key, node, eta)]
+            if all(
+                abs(oracle[n] - s) <= 1e-9 for n, s in tops.items()
+            ):
+                return
+        raise AssertionError(
+            f"served top scores for ({node}, eta={eta}) match no "
+            "single-index oracle"
+        )
+
+    @rule(node=nodes_st, eta=etas_st)
+    def query(self, node: int, eta: int) -> None:
+        client = self._client()
+        try:
+            payload = client.query(node, eta=eta, top=8)
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)  # injected torn frame/disconnect
+            return
+        self._check_payload(node, eta, payload)
+
+    @rule(data=st.data())
+    def query_pipelined(self, data) -> None:
+        picks = data.draw(
+            st.lists(nodes_st, min_size=1, max_size=5)
+        )
+        client = self._client()
+        try:
+            payloads = client.query_many(picks, eta=2, window=3, top=8)
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        assert len(payloads) == len(picks)
+        for node, payload in zip(picks, payloads):
+            self._check_payload(node, 2, payload)
+
+    @rule(node=nodes_st)
+    def stream_and_abandon(self, node: int) -> None:
+        client = self._client()
+        try:
+            iterator = client.stream(node, eta=2, top=4)
+            next(iterator, None)
+            iterator.close()
+            # The connection survives an abandoned stream.
+            assert client.ping()
+        except (ConnectionError, OSError, ProtocolViolation, ServerError):
+            self._drop_client(client)
+
+    @rule()
+    def malformed_line(self) -> None:
+        client = self._client()
+        try:
+            client.send_raw(b"this is not json\n")
+            message = client.read_message()
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        assert message["ok"] is False
+        assert message["error"]["code"] == "malformed"
+
+    @rule()
+    def stats_shape(self) -> None:
+        client = self._client()
+        try:
+            stats = client.stats()
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        service = stats["service"]
+        assert service["queue_depth"] >= 0
+        assert service["in_flight"] >= 0
+        latency = service["latency"]
+        assert latency["count"] == sum(latency["counts"])
+        assert stats["server"]["requests_total"] >= 1
+
+    @rule()
+    def inject_torn_frame(self) -> None:
+        self.plan.on("server.send", torn=True, times=1)
+
+    @rule()
+    def abrupt_disconnect(self) -> None:
+        client = PPVClient(*self.address, timeout=15)
+        try:
+            client.send_raw(b'{"v":1,"id":1,"node":0}\n')
+        finally:
+            client.close()  # vanish without reading the reply
+
+    @rule()
+    def swap_index(self) -> None:
+        client = self._client()
+        target_key = "B" if self.index_key == "A" else "A"
+        path = INDEX_B_PATH if target_key == "B" else INDEX_A_PATH
+        try:
+            reply = client.swap_index(str(path))
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        assert reply["swapped"] is True
+        self.index_key = target_key
+        self.swapped = True
+
+    @invariant()
+    def server_alive(self) -> None:
+        # An armed torn-frame fault may hit this probe's reply (the
+        # fault strikes the *next* server send, whoever triggers it);
+        # liveness only requires that a retry gets through.
+        last: BaseException | None = None
+        for _ in range(3):
+            try:
+                with PPVClient(*self.address, timeout=15) as probe:
+                    assert probe.ping()
+                    return
+            except (ConnectionError, OSError, ProtocolViolation) as error:
+                last = error
+        raise AssertionError(f"server unreachable: {last!r}")
+
+    def teardown(self) -> None:
+        for client in list(self.clients):
+            self._drop_client(client)
+        self.context.__exit__(None, None, None)
+        self.service.close()
+
+
+TestServerLifecycle = ServerMachine.TestCase
+
+
+# --------------------------------------------------------------------- #
+# 4. Pool machine: SIGKILL a worker under load, the port keeps serving
+
+
+def _pool_factory():
+    return PPVService.open(INDEX_A, graph=GRAPH, cache_size=8)
+
+
+class PoolMachine(RuleBasedStateMachine):
+    WORKERS = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pool = ServerPool(_pool_factory, workers=self.WORKERS)
+        self.address = self.pool.start()
+        self.killed: list[int] = []
+
+    def _query_with_retry(self, node: int) -> dict:
+        """One query, retrying transient connection failures.
+
+        Retries are legitimate here: a killed worker's accept queue
+        takes a moment to drain out of the kernel's load-balancing
+        group, and a connection may be routed to it meanwhile.  What is
+        *not* legitimate is running out of retries while a worker
+        lives — that would be a dropped query.
+        """
+        host, port = self.address
+        deadline = time.monotonic() + 30
+        last: BaseException | None = None
+        while time.monotonic() < deadline:
+            try:
+                with PPVClient(host, port, timeout=3) as client:
+                    return client.query(node, eta=1, top=8)
+            except (ConnectionError, OSError, ProtocolViolation,
+                    ClientTimeout) as error:
+                last = error
+                time.sleep(0.02)
+        raise AssertionError(
+            f"query dropped: no worker answered within 30 s "
+            f"(alive={self.pool.alive_workers()}, last={last!r})"
+        )
+
+    @rule(node=nodes_st)
+    def query(self, node: int) -> None:
+        payload = self._query_with_retry(node)
+        oracle = MEMORY_ORACLES[("A", node, 1)]
+        for n, s in payload["top"]:
+            assert abs(oracle[int(n)] - float(s)) <= 1e-9
+
+    @precondition(lambda self: len(self.pool.alive_workers()) > 1)
+    @rule()
+    def kill_one_worker(self) -> None:
+        victim = self.pool.alive_workers()[-1]
+        self.pool.kill_worker(victim)
+        self.killed.append(victim)
+        assert self.pool.exitcodes()[victim] == -signal.SIGKILL
+
+    @rule()
+    def stats_from_any_worker(self) -> None:
+        host, port = self.address
+        try:
+            with PPVClient(host, port, timeout=3) as client:
+                stats = client.stats()
+        except (ConnectionError, OSError, ProtocolViolation,
+                ClientTimeout):
+            return  # transient post-kill routing; query rule retries
+        assert stats["worker"]["index"] in range(self.WORKERS)
+        assert stats["service"]["latency"]["count"] >= 0
+
+    @invariant()
+    def at_least_one_worker_lives(self) -> None:
+        assert self.pool.alive_workers()
+
+    def teardown(self) -> None:
+        worst = self.pool.stop()
+        codes = self.pool.exitcodes()
+        for victim in self.killed:
+            assert codes[victim] == -signal.SIGKILL
+        if self.killed:
+            assert worst == 128 + signal.SIGKILL
+        else:
+            assert worst == 0
+        # Survivors went down via our graceful SIGTERM, nothing else.
+        for index, code in enumerate(codes):
+            if index not in self.killed:
+                assert code in (0, -signal.SIGTERM)
+
+
+TestPoolLifecycle = PoolMachine.TestCase
