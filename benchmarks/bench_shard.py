@@ -1,0 +1,260 @@
+"""Sharded serving: router throughput and exactness at 1/2/3 shards.
+
+One social graph, one index, one cluster assignment — partitioned at
+one, two and three shards and served through :class:`ShardRouter`
+(shard pools + router front-end, all on this host), driven by
+concurrent pipelining TCP clients.  The baseline is the unsharded disk
+deployment of the same index over the same assignment, queried
+in-process one request at a time.
+
+What the table records, honestly: the router rows carry a coalescing +
+pipelining advantage over the one-at-a-time baseline (same effect the
+server bench measures), while the shard-count sweep isolates the
+**price of distribution** — on a single host every extra shard adds
+network fan-out (hub prime-PPVs and cluster adjacency fetched from
+shard processes) on top of the very disk reads the baseline does
+locally, so throughput *declines* as shards increase.  The subsystem's
+win is capacity (each shard holds 1/N of the index), and it must not
+cost correctness.  Accordingly the acceptance assertions are exactness
+and structure, not a speedup floor:
+
+* a sampled workload (plain eta-2 queries and certified top-k) served
+  through every shard count is **bitwise equal** to the unsharded disk
+  deployment;
+* every router reports coherent aggregated stats (``num_shards``
+  matches, merged latency histogram counts add up, ``fetch_balance``
+  >= 1.0).
+
+Emits ``BENCH_shard.json`` (merged, scale-stamped) via
+``benchmarks.common.emit_json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_SCALE, emit, emit_json
+from repro import StopAfterIterations, build_index, select_hubs, social_graph
+from repro.experiments.report import Table
+from repro.server import PPVClient, protocol
+from repro.serving import PPVService, QuerySpec
+from repro.sharding import ShardRouter, partition_index
+from repro.storage import DiskGraphStore, cluster_graph, save_index
+
+DELTA = 0.0
+"""Exact mode on both sides: the bitwise-equality bar needs identical
+kernels, and the router's claim is exactness."""
+ETA = 2
+CLIENTS = 4
+PIPELINE_WINDOW = 8
+SHARD_COUNTS = (1, 2, 3)
+TOPK_SAMPLE = 2
+"""How many of the sampled equivalence queries run as certified top-k."""
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    num_nodes = max(600, int(3000 * BENCH_SCALE))
+    num_hubs = max(60, int(300 * BENCH_SCALE))
+    graph = social_graph(num_nodes=num_nodes, seed=13)
+    hubs = select_hubs(graph, num_hubs=num_hubs)
+    # clip=0 so certified top-k can fire in the equivalence sample.
+    index = build_index(graph, hubs, clip=0.0, epsilon=1e-6)
+    assignment = cluster_graph(graph, 12, seed=1)
+    root = tmp_path_factory.mktemp("bench_shard")
+    index_path = root / "index.fppv"
+    save_index(index, index_path)
+    store_dir = root / "clusters"
+    DiskGraphStore(graph, assignment, store_dir)
+    parts = {}
+    for num_shards in SHARD_COUNTS:
+        part_root = root / f"part{num_shards}"
+        partition_index(
+            graph, index, num_shards, part_root, assignment=assignment
+        )
+        parts[num_shards] = part_root
+    rng = np.random.default_rng(7)
+    # Two disjoint unique-node sets: every configuration runs twice
+    # (best-of, against shared-host scheduler noise) with no repeats
+    # for a cache to flatter.
+    num_queries = min(num_nodes // 2, max(40, int(320 * BENCH_SCALE)))
+    pool = rng.choice(graph.num_nodes, size=2 * num_queries, replace=False)
+    query_sets = [
+        [int(q) for q in pool[:num_queries]],
+        [int(q) for q in pool[num_queries:]],
+    ]
+    return graph, index, index_path, store_dir, parts, query_sets
+
+
+def _sample_specs(queries):
+    """The equivalence sample: plain eta queries plus certified top-k."""
+    stop = StopAfterIterations(ETA)
+    plain = queries[: 8 - TOPK_SAMPLE]
+    topk = queries[8 - TOPK_SAMPLE : 8]
+    specs = [QuerySpec(node, stop=stop) for node in plain]
+    specs += [QuerySpec(node, top_k=5) for node in topk]
+    return specs
+
+
+def _reference_payloads(index_path, store_dir, queries, top):
+    """The unsharded disk deployment's rendered payloads (bitwise bar)."""
+    graph_store = DiskGraphStore.open(store_dir)
+    with PPVService.open(
+        str(index_path), backend="disk", graph_store=graph_store,
+        delta=DELTA, cache_size=0,
+    ) as service:
+        specs = _sample_specs(queries)
+        results = service.query_many(specs)
+        return [
+            protocol.render_result(spec, result, top=top)
+            for spec, result in zip(specs, results)
+        ]
+
+
+def _client_payloads(address, queries, top):
+    """The same sample through one router client, as wire payloads."""
+    payloads = []
+    with PPVClient(*address, timeout=60) as client:
+        for spec in _sample_specs(queries):
+            if spec.top_k is not None:
+                payloads.append(
+                    client.query(
+                        spec.nodes[0], top_k=spec.top_k,
+                        budget=spec.top_k_budget, top=top,
+                    )
+                )
+            else:
+                payloads.append(
+                    client.query(spec.nodes[0], eta=ETA, top=top)
+                )
+    return payloads
+
+
+def _sequential_qps(index_path, store_dir, query_sets) -> float:
+    """Unsharded disk deployment, one request in flight at a time."""
+    best = 0.0
+    graph_store = DiskGraphStore.open(store_dir)
+    with PPVService.open(
+        str(index_path), backend="disk", graph_store=graph_store,
+        delta=DELTA, cache_size=0,
+    ) as service:
+        stop = StopAfterIterations(ETA)
+        for queries in query_sets:
+            started = time.perf_counter()
+            for node in queries:
+                service.query(QuerySpec(node, stop=stop))
+            elapsed = time.perf_counter() - started
+            best = max(best, len(queries) / elapsed)
+    return best
+
+
+def _drive_clients(address, queries, clients: int) -> float:
+    """Split ``queries`` across ``clients`` concurrent connections;
+    returns queries/sec over the slowest-client wall-clock."""
+    shares = [queries[k::clients] for k in range(clients)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client_main(share) -> None:
+        try:
+            with PPVClient(*address, timeout=120) as client:
+                barrier.wait(timeout=30)
+                client.query_many(
+                    share, window=PIPELINE_WINDOW, eta=ETA, top=5
+                )
+        except BaseException as error:  # pragma: no cover - diagnostics
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client_main, args=(share,))
+        for share in shares
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=30)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return len(queries) / elapsed
+
+
+def test_shard_throughput(setup):
+    graph, index, index_path, store_dir, parts, query_sets = setup
+    expected = _reference_payloads(
+        index_path, store_dir, query_sets[0], top=20
+    )
+
+    sequential = _sequential_qps(index_path, store_dir, query_sets)
+    rows = [("unsharded disk, in-process", 0, sequential, 1.0, "-")]
+    qps_by_shards: dict[str, float] = {}
+    balance_by_shards: dict[str, float] = {}
+    for num_shards in SHARD_COUNTS:
+        with ShardRouter(
+            parts[num_shards], delta=DELTA, cache_size=0
+        ) as address:
+            # Exactness first: the sampled workload through this fleet
+            # must be bitwise equal to the unsharded deployment (JSON
+            # round-trips floats exactly, so dict equality is bitwise).
+            got = _client_payloads(address, query_sets[0], top=20)
+            assert got == expected, f"{num_shards}-shard results diverge"
+            qps = max(
+                _drive_clients(address, queries, CLIENTS)
+                for queries in query_sets
+            )
+            with PPVClient(*address, timeout=60) as client:
+                shards = client.stats()["shards"]
+        assert shards["num_shards"] == num_shards
+        assert len(shards["per_shard"]) == num_shards
+        assert shards["latency"]["count"] == sum(
+            entry["latency"]["count"] for entry in shards["per_shard"]
+        )
+        balance = shards["fetch_balance"]
+        assert balance >= 1.0
+        qps_by_shards[str(num_shards)] = qps
+        balance_by_shards[str(num_shards)] = balance
+        rows.append(
+            (
+                f"router, {num_shards} shard(s), {CLIENTS} clients",
+                num_shards, qps, qps / sequential, f"{balance:.2f}",
+            )
+        )
+
+    certified = [p for p in expected if "certified" in p]
+    assert len(certified) == TOPK_SAMPLE
+
+    table = Table(
+        title=(
+            f"Sharded serving ({graph.num_nodes} nodes, "
+            f"{index.num_hubs} hubs, eta={ETA}, "
+            f"{len(query_sets[0])} unique queries/pass)"
+        ),
+        headers=["configuration", "shards", "queries/s", "vs unsharded",
+                 "fetch balance"],
+        rows=[
+            [name, shards or "-", f"{qps:.0f}", f"{speedup:.2f}x", balance]
+            for name, shards, qps, speedup, balance in rows
+        ],
+    )
+    emit("bench_shard", table)
+    emit_json(
+        "shard",
+        {
+            "shard": {
+                "num_queries": len(query_sets[0]),
+                "eta": ETA,
+                "clients": CLIENTS,
+                "pipeline_window": PIPELINE_WINDOW,
+                "unsharded_sequential_qps": sequential,
+                "router_qps_by_shards": qps_by_shards,
+                "fetch_balance_by_shards": balance_by_shards,
+                "sampled_workload_bitwise_equal": True,
+                "certified_topk_in_sample": len(certified),
+            }
+        },
+    )

@@ -11,6 +11,9 @@ The subcommands cover the offline/online lifecycle end to end::
     repro disk-query graph.txt graph.fppv 42 7 19 --clusters 12
     repro serve graph.txt graph.fppv --requests requests.jsonl
     repro serve graph.txt graph.fppv --tcp 127.0.0.1:7474 --workers 4
+    repro shard-index graph.txt graph.fppv --shards 3 --out parts/
+    repro serve --shard-map parts/ --tcp 127.0.0.1:7474
+    repro serve graph.txt graph.fppv --shards 3 --tcp 127.0.0.1:7474
     repro autotune graph.txt
 
 All online subcommands run through the :class:`~repro.serving.PPVService`
@@ -360,6 +363,69 @@ def _cmd_disk_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_shard_index(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "shard-index",
+        help="partition a built index into per-shard stores for "
+        "scale-out serving",
+        description="Split a graph + .fppv index into N shard "
+        "directories (whole PPR clusters per shard, LPT-balanced) "
+        "under a partition root with a shard_map.json manifest.  Serve "
+        "the result with `repro serve --shard-map ROOT --tcp ...`.",
+    )
+    parser.add_argument("graph", help="edge-list path")
+    parser.add_argument("index", help=".fppv index path")
+    parser.add_argument("--shards", type=int, required=True)
+    parser.add_argument(
+        "--out", required=True, help="partition root directory"
+    )
+    parser.add_argument(
+        "--clusters", type=int, default=None,
+        help="PPR clusters to segment into (default: max(8, 2*shards))",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="clustering seed")
+    parser.add_argument("--undirected", action="store_true")
+    parser.set_defaults(func=_cmd_shard_index)
+
+
+def _cmd_shard_index(args: argparse.Namespace) -> int:
+    from repro.sharding import partition_index
+
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    graph = read_edge_list(args.graph, undirected=args.undirected)
+    index = load_index(args.index)
+    if index.hub_mask.size != graph.num_nodes:
+        print(
+            f"error: index covers {index.hub_mask.size} nodes but the "
+            f"graph has {graph.num_nodes}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        manifest = partition_index(
+            graph, index, args.shards, args.out,
+            num_clusters=args.clusters, seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for entry in manifest["shards"]:
+        total_mb = (entry["index_bytes"] + entry["graph_bytes"]) / 1e6
+        print(
+            f"shard {entry['shard']}: {entry['nodes']} nodes, "
+            f"{len(entry['hubs'])} hubs, {len(entry['clusters'])} "
+            f"clusters, {total_mb:.2f} MB -> {args.out}/{entry['dir']}"
+        )
+    print(
+        f"partitioned {manifest['num_hubs']} hubs / "
+        f"{manifest['num_clusters']} clusters across "
+        f"{manifest['num_shards']} shards -> {args.out}/shard_map.json"
+    )
+    return 0
+
+
 def _parse_max_delay(value: str):
     """``--max-delay`` accepts seconds or the adaptive ``auto`` mode."""
     if value == "auto":
@@ -388,8 +454,14 @@ def _add_serve(subparsers) -> None:
         "instead, and --workers N pre-forks N serving processes on the "
         "same port.",
     )
-    parser.add_argument("graph", help="edge-list path")
-    parser.add_argument("index", help=".fppv index path")
+    parser.add_argument(
+        "graph", nargs="?", default=None,
+        help="edge-list path (not needed with --shard-map)",
+    )
+    parser.add_argument(
+        "index", nargs="?", default=None,
+        help=".fppv index path (not needed with --shard-map)",
+    )
     transport = parser.add_mutually_exclusive_group()
     transport.add_argument(
         "--stdio", action="store_true",
@@ -402,7 +474,20 @@ def _add_serve(subparsers) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="TCP only: pre-fork this many serving processes sharing "
-        "the listen socket (escapes the GIL; needs fork support)",
+        "the listen socket (escapes the GIL; needs fork support).  With "
+        "--shards/--shard-map: worker processes per shard pool",
+    )
+    sharded = parser.add_mutually_exclusive_group()
+    sharded.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="TCP only: partition the index into N shards on the fly "
+        "and serve them through a shard router (exact results; see "
+        "repro.sharding)",
+    )
+    sharded.add_argument(
+        "--shard-map", default=None, metavar="ROOT",
+        help="TCP only: serve an existing partition root built by "
+        "`repro shard-index` through a shard router",
     )
     parser.add_argument(
         "--max-inflight", type=int, default=256,
@@ -487,6 +572,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     elif args.workers != 1:
         print("error: --workers needs --tcp", file=sys.stderr)
+        return 2
+
+    if args.shards is not None or args.shard_map is not None:
+        return _serve_sharded(args, tcp_address)
+    if args.graph is None or args.index is None:
+        print(
+            "error: serve needs GRAPH and INDEX (or --shard-map ROOT)",
+            file=sys.stderr,
+        )
         return 2
 
     graph = read_edge_list(args.graph, undirected=args.undirected)
@@ -588,6 +682,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
 
+def _serve_sharded(args: argparse.Namespace, tcp_address) -> int:
+    """``serve --shards N`` / ``serve --shard-map ROOT``: shard pools
+    plus a router front-end on the TCP address."""
+    from contextlib import ExitStack
+
+    from repro.server import ServerConfig
+    from repro.sharding import ShardRouter, partition_index
+
+    if tcp_address is None:
+        print(
+            "error: sharded serving needs --tcp (the router fans out "
+            "over the network)",
+            file=sys.stderr,
+        )
+        return 2
+    with ExitStack() as stack:
+        if args.shard_map is not None:
+            root = args.shard_map
+        else:
+            if args.shards < 1:
+                print("error: --shards must be at least 1", file=sys.stderr)
+                return 2
+            if args.graph is None or args.index is None:
+                print(
+                    "error: --shards partitions on the fly and needs "
+                    "GRAPH and INDEX (serve a prebuilt partition with "
+                    "--shard-map)",
+                    file=sys.stderr,
+                )
+                return 2
+            graph = read_edge_list(args.graph, undirected=args.undirected)
+            index = load_index(args.index)
+            if index.hub_mask.size != graph.num_nodes:
+                print(
+                    f"error: index covers {index.hub_mask.size} nodes "
+                    f"but the graph has {graph.num_nodes}",
+                    file=sys.stderr,
+                )
+                return 2
+            root = args.workdir
+            if root is None:
+                root = tempfile.mkdtemp(prefix="fastppv_shards_")
+                stack.callback(shutil.rmtree, root, ignore_errors=True)
+            partition_index(
+                graph, index, args.shards, root,
+                num_clusters=args.clusters if args.clusters != 8 else None,
+                seed=args.seed,
+            )
+        host, port = tcp_address
+        config = ServerConfig(
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            default_top=args.top,
+        )
+        router_kwargs: dict = {
+            "max_batch": args.max_batch,
+            "max_delay": args.max_delay,
+            "delta": args.delta,
+            "fault_budget": args.fault_budget,
+        }
+        if args.cache_size is not None:
+            router_kwargs["cache_size"] = args.cache_size
+        try:
+            router = ShardRouter(
+                root,
+                workers_per_shard=args.workers,
+                config=config,
+                **router_kwargs,
+            )
+        except (FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+        def announce(address) -> None:
+            print(
+                f"shard router on {address[0]}:{address[1]} "
+                f"({router.manifest['num_shards']} shards, "
+                f"{args.workers} worker"
+                f"{'s' if args.workers != 1 else ''} each)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        return router.serve_forever(announce)
+
+
 def _add_autotune(subparsers) -> None:
     parser = subparsers.add_parser(
         "autotune", help="probe hub counts and recommend one"
@@ -664,6 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_index(subparsers)
     _add_query(subparsers)
     _add_disk_query(subparsers)
+    _add_shard_index(subparsers)
     _add_serve(subparsers)
     _add_autotune(subparsers)
     _add_validate(subparsers)

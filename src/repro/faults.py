@@ -10,19 +10,33 @@ path is untouched.
 
 Sites wired into the stack
 --------------------------
+The full registry; components name their sites here so suites can grep
+one table instead of the codebase.
+
 =====================  ===================================================
 site                   fired …
 =====================  ===================================================
 ``ppv_store.read``     per :meth:`DiskPPVStore.get` /
                        per unique read of ``get_many``
 ``graph_store.load``   per cluster segment actually loaded from disk
+                       (LRU swap-ins and shard ``cluster_arrays`` reads)
 ``scheduler.execute``  per drain, just before the executor runs
 ``server.request``     per parsed request line, before dispatch
 ``server.send``        per response frame, before the write
 ``client.connect``     on :class:`PPVClient` construction
 ``client.send``        per client request line written
 ``client.recv``        per client response line read
+``router.dispatch``    per shard request a :class:`~repro.sharding.
+                       ShardFleet` fans out, before the send
+``router.connect``     per shard (re)connection the fleet opens
+``shard.recv``         per shard reply the fleet reads (first try and
+                       the reconnect retry)
 =====================  ===================================================
+
+The three ``router.*``/``shard.*`` sites live on the *router's* fleet
+(install the plan via ``RouterEngine(fault_plan=...)``), not on the
+per-shard ``PPVClient`` connections — the generic ``client.*`` sites
+stay quiet during fan-out so a rule there cannot double-fire.
 
 Rules
 -----

@@ -337,8 +337,24 @@ class PPVClient:
         return bool(self.request({"verb": "ping"}).get("pong"))
 
     def swap_index(self, path: str) -> dict:
-        """Hot-swap the serving index from an ``.fppv`` path."""
+        """Hot-swap the serving index from an ``.fppv`` path (or a
+        partition root, when talking to a shard router)."""
         return self.request({"verb": "swap_index", "path": str(path)})
+
+    def fetch_hubs(self, hubs: Sequence[int]) -> dict:
+        """Shard-internal: raw prime-PPV entries of ``hubs`` (see
+        :mod:`repro.sharding`).  Plain servers refuse with ``invalid``."""
+        return self.request(
+            {"verb": "fetch_hubs", "hubs": [int(hub) for hub in hubs]}
+        )
+
+    def fetch_cluster(self, cluster: int) -> dict:
+        """Shard-internal: one graph cluster's adjacency arrays."""
+        return self.request({"verb": "fetch_cluster", "cluster": int(cluster)})
+
+    def shard_info(self) -> dict:
+        """Shard-internal: the serving shard's partition coordinates."""
+        return self.request({"verb": "shard_info"})
 
     def shutdown_server(self) -> None:
         """Ask the serving worker to shut down gracefully."""

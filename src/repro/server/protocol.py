@@ -24,11 +24,18 @@ Requests
     a sequence of per-iteration frames followed by a ``done`` record.
   - ``stats`` — service + server counters.
   - ``ping`` — liveness/round-trip probe.
-  - ``swap_index`` — hot-swap the served index from ``path`` (memory
-    backend): in-flight queries drain, held admissions resume on the
-    new index, nothing accepted is dropped.
+  - ``swap_index`` — hot-swap the served index from ``path``: in-flight
+    queries drain, held admissions resume on the new index, nothing
+    accepted is dropped.  On a shard router the swap rolls across every
+    shard before admissions resume.
   - ``shutdown`` — graceful server shutdown: stop accepting, drain
     in-flight requests, close connections.
+  - ``fetch_hubs`` — shard-internal: return the raw prime-PPV entries
+    of ``hubs`` owned by this shard (:mod:`repro.sharding`).
+  - ``fetch_cluster`` — shard-internal: return one graph cluster's
+    adjacency arrays.
+  - ``shard_info`` — shard-internal: the shard's partition coordinates
+    (shard id, owned hubs/clusters, index parameters).
 
 Responses
 ---------
@@ -44,7 +51,8 @@ Error codes (:data:`ERROR_CODES`): ``malformed`` (not JSON / not an
 object), ``oversized`` (line longer than the server's limit),
 ``unsupported_version``, ``unknown_verb``, ``invalid`` (bad or missing
 fields, out-of-range nodes, unsupported operation), ``unavailable``
-(server shutting down), ``internal``.
+(server shutting down), ``shard_unavailable`` (a shard router lost a
+shard process mid-query and could not reconnect), ``internal``.
 """
 
 from __future__ import annotations
@@ -70,6 +78,7 @@ E_UNSUPPORTED_VERSION = "unsupported_version"
 E_UNKNOWN_VERB = "unknown_verb"
 E_INVALID = "invalid"
 E_UNAVAILABLE = "unavailable"
+E_SHARD_UNAVAILABLE = "shard_unavailable"
 E_INTERNAL = "internal"
 
 ERROR_CODES = (
@@ -79,10 +88,37 @@ ERROR_CODES = (
     E_UNKNOWN_VERB,
     E_INVALID,
     E_UNAVAILABLE,
+    E_SHARD_UNAVAILABLE,
     E_INTERNAL,
 )
 
-VERBS = ("query", "stream", "stats", "ping", "swap_index", "shutdown")
+VERBS = (
+    "query",
+    "stream",
+    "stats",
+    "ping",
+    "swap_index",
+    "shutdown",
+    "fetch_hubs",
+    "fetch_cluster",
+    "shard_info",
+)
+
+
+class ShardUnavailableError(RuntimeError):
+    """A shard process died (or dropped its connection) mid-operation.
+
+    Raised by the :mod:`repro.sharding` remote stores after a failed
+    reconnect attempt; the TCP front-end maps it to the structured
+    :data:`E_SHARD_UNAVAILABLE` error so clients get a prompt, typed
+    failure instead of a hang.  Defined here — the bottom of the server
+    stack — so both :mod:`repro.server.server` and :mod:`repro.sharding`
+    can import it without a cycle.
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
 
 
 class ProtocolError(ValueError):

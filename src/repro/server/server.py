@@ -50,10 +50,11 @@ from repro.server.protocol import (
     E_INVALID,
     E_MALFORMED,
     E_OVERSIZED,
+    E_SHARD_UNAVAILABLE,
     E_UNAVAILABLE,
     ProtocolError,
+    ShardUnavailableError,
 )
-from repro.storage.ppv_store import load_index
 
 DEFAULT_MAX_INFLIGHT = 256
 DEFAULT_MAX_INFLIGHT_PER_CONN = 32
@@ -402,11 +403,16 @@ class PPVServer:
                 self.counters.responses_total += 1
                 return
             if verb == "stats":
+                # Off the event loop: a shard router's stats fan out to
+                # every shard over the network.
+                payload = await asyncio.to_thread(self._stats_payload)
                 await self._send(
-                    connection,
-                    protocol.ok_response(request_id, self._stats_payload()),
+                    connection, protocol.ok_response(request_id, payload)
                 )
                 self.counters.responses_total += 1
+                return
+            if verb in ("fetch_hubs", "fetch_cluster", "shard_info"):
+                await self._serve_fetch(connection, request_id, verb, request)
                 return
             if verb == "shutdown":
                 await self._send(connection, protocol.ok_response(request_id))
@@ -483,6 +489,52 @@ class PPVServer:
     # ------------------------------------------------------------------ #
     # Verb implementations
 
+    async def _serve_fetch(
+        self, connection: _Connection, request_id, verb: str, request: dict
+    ) -> None:
+        """Shard-internal data verbs: raw hub entries, one cluster's
+        adjacency, or the shard's partition coordinates.
+
+        Served by engines that expose the matching method (the shard
+        engine of :mod:`repro.sharding`); every other backend refuses
+        with ``invalid``.  The payloads can dwarf ``max_line_bytes`` —
+        the line bound applies to requests only, and the client reads
+        responses unbounded.
+        """
+        method = getattr(self.service.engine, verb, None)
+        if method is None:
+            backend = getattr(self.service.engine, "backend", None)
+            raise ProtocolError(
+                E_INVALID,
+                f"the {backend!r} backend does not serve {verb!r}; "
+                "only shard processes do",
+            )
+        try:
+            if verb == "fetch_hubs":
+                hubs = request.get("hubs")
+                if not isinstance(hubs, list):
+                    raise ProtocolError(
+                        E_INVALID, 'fetch_hubs needs a "hubs" list'
+                    )
+                payload = await asyncio.to_thread(
+                    method, [int(hub) for hub in hubs]
+                )
+            elif verb == "fetch_cluster":
+                cluster = request.get("cluster")
+                if not isinstance(cluster, int) or isinstance(cluster, bool):
+                    raise ProtocolError(
+                        E_INVALID, 'fetch_cluster needs an integer "cluster"'
+                    )
+                payload = await asyncio.to_thread(method, cluster)
+            else:
+                payload = await asyncio.to_thread(method)
+        except ProtocolError:
+            raise
+        except (KeyError, ValueError, TypeError) as error:
+            raise ProtocolError(E_INVALID, str(error)) from None
+        await self._send(connection, protocol.ok_response(request_id, payload))
+        self.counters.responses_total += 1
+
     async def _await_handle(self, handle):
         """Await a service handle without blocking the event loop."""
         future = self._loop.create_future()
@@ -510,6 +562,23 @@ class PPVServer:
             return
         try:
             result = await self._await_handle(handle)
+        except ShardUnavailableError as error:
+            self.counters.count_error(E_SHARD_UNAVAILABLE)
+            await self._send(
+                connection,
+                protocol.error_response(
+                    request_id, E_SHARD_UNAVAILABLE, str(error)
+                ),
+            )
+            return
+        except ValueError as error:
+            # e.g. a shard process refusing direct queries.
+            self.counters.count_error(E_INVALID)
+            await self._send(
+                connection,
+                protocol.error_response(request_id, E_INVALID, str(error)),
+            )
+            return
         except Exception as error:
             self.counters.count_error(E_INTERNAL)
             await self._send(
@@ -582,11 +651,12 @@ class PPVServer:
                     self.counters.responses_total += 1
                     return
                 else:  # error
-                    code = (
-                        E_INVALID
-                        if isinstance(payload, (ValueError, TypeError))
-                        else E_INTERNAL
-                    )
+                    if isinstance(payload, ShardUnavailableError):
+                        code = E_SHARD_UNAVAILABLE
+                    elif isinstance(payload, (ValueError, TypeError)):
+                        code = E_INVALID
+                    else:
+                        code = E_INTERNAL
                     self.counters.count_error(code)
                     await self._send(
                         connection,
@@ -624,14 +694,26 @@ class PPVServer:
     ) -> None:
         self._gate.clear()
         try:
-            index = await asyncio.to_thread(load_index, path)
-            await asyncio.to_thread(self.service.update_index, index)
+            # The service routes: engines with a ``replace_from_path``
+            # hook (the shard router, which rolls the swap across every
+            # shard) reopen from the path; the rest load the .fppv and
+            # go through update_index as before.
+            await asyncio.to_thread(self.service.swap_path, path)
         except FileNotFoundError:
             self.counters.count_error(E_INVALID)
             await self._send(
                 connection,
                 protocol.error_response(
                     request_id, E_INVALID, f"no index at {path!r}"
+                ),
+            )
+            return
+        except ShardUnavailableError as error:
+            self.counters.count_error(E_SHARD_UNAVAILABLE)
+            await self._send(
+                connection,
+                protocol.error_response(
+                    request_id, E_SHARD_UNAVAILABLE, str(error)
                 ),
             )
             return
@@ -653,7 +735,7 @@ class PPVServer:
 
     def _stats_payload(self) -> dict:
         service_stats = self.service.stats()
-        return {
+        payload = {
             "server": self.counters.as_dict(),
             "service": {
                 "submitted": service_stats.submitted,
@@ -669,6 +751,15 @@ class PPVServer:
             "worker": {"index": self.worker_index, "pid": os.getpid()},
             "backend": getattr(self.service.engine, "backend", None),
         }
+        # A shard router aggregates its shards' stats (merged latency,
+        # per-shard balance) into one extra section.
+        shard_stats = getattr(self.service.engine, "shard_stats", None)
+        if shard_stats is not None:
+            try:
+                payload["shards"] = shard_stats()
+            except ShardUnavailableError as error:
+                payload["shards"] = {"error": str(error)}
+        return payload
 
     # ------------------------------------------------------------------ #
     # Test/benchmark convenience

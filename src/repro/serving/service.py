@@ -94,6 +94,37 @@ class LatencyHistogram:
                 "total_seconds": self._total_seconds,
             }
 
+    @classmethod
+    def merge(cls, snapshots: "Sequence[dict]") -> dict:
+        """Fold several :meth:`snapshot` dicts into one.
+
+        The shard router aggregates per-shard latency this way: bucket
+        counts and totals are additive as long as every snapshot used
+        the same bucket edges.  An empty sequence merges to an empty
+        default-bounds snapshot.
+
+        Raises
+        ------
+        ValueError
+            When the snapshots disagree on bucket bounds.
+        """
+        merged = cls().snapshot()
+        if not snapshots:
+            return merged
+        merged["bounds"] = list(snapshots[0].get("bounds", merged["bounds"]))
+        merged["counts"] = [0] * (len(merged["bounds"]) + 1)
+        for snapshot in snapshots:
+            if list(snapshot["bounds"]) != merged["bounds"]:
+                raise ValueError(
+                    "cannot merge latency histograms with different "
+                    f"bounds: {snapshot['bounds']} vs {merged['bounds']}"
+                )
+            for index, count in enumerate(snapshot["counts"]):
+                merged["counts"][index] += int(count)
+            merged["count"] += int(snapshot["count"])
+            merged["total_seconds"] += float(snapshot["total_seconds"])
+        return merged
+
 
 @dataclass(frozen=True)
 class ServiceStats:
@@ -430,6 +461,29 @@ class PPVService:
         self._scheduler.flush()
         replace(index, graph=graph)
         self.cache.clear()
+
+    def swap_path(self, path: str) -> None:
+        """Swap the served index to whatever lives at ``path``.
+
+        Engines that know how to reopen themselves from a path (the
+        shard router's partition-root swap) do it via their
+        ``replace_from_path`` hook; everything else goes through the
+        legacy route — load the ``.fppv`` eagerly and
+        :meth:`update_index` it — which preserves each backend's
+        existing swap semantics (the plain disk backend has no
+        ``replace_index`` and keeps refusing with
+        ``NotImplementedError``).  Either way in-flight work drains
+        first and the result cache is dropped.
+        """
+        replace = getattr(self.engine, "replace_from_path", None)
+        if replace is not None:
+            self._scheduler.flush()
+            replace(path)
+            self.cache.clear()
+            return
+        from repro.storage.ppv_store import load_index
+
+        self.update_index(load_index(path))
 
     def _track_latency(self, handle: QueryHandle) -> None:
         """Record the handle's submit→resolve latency when it resolves."""

@@ -1,0 +1,414 @@
+"""The router side of sharded serving: fleet + remote stores.
+
+Why fetch, not partial-score merge
+----------------------------------
+The repo's acceptance bar for every serving layer is **bitwise
+equality** with the engine it fronts.  Summing per-shard partial score
+vectors at a router cannot meet that bar: float addition is not
+associative, the per-hub delta gate ``alpha * mass > delta`` is not
+linear in partial masses, and the per-round ``l1_error`` is a pairwise
+``np.sum``.  So instead of moving the *computation* to the shards, the
+router moves the *data* from them: it runs the ordinary
+:class:`~repro.storage.disk_engine.DiskFastPPV` /
+``BatchDiskFastPPV`` kernels locally over two remote stores —
+:class:`ShardedPPVStore` and :class:`ShardedGraphStore` — that fetch
+hub prime PPVs and cluster adjacency from the owning shard processes
+on demand.  JSON round-trips 64-bit floats exactly (the wire suites
+already rely on this), so a fetched payload is bit-identical to a
+local disk read; identical kernel + identical data + identical
+operation order = bitwise-identical results, certified top-k included.
+The shards hold the index — the O(hubs x reachable-nodes) structure
+that dominates memory — while the router holds only bounded caches,
+so capacity scales with the shard count.
+
+Each shard's hub fan-out per ``get_many`` is **pipelined across
+shards**: one ``fetch_hubs`` request per owning shard goes out on that
+shard's own connection before any reply is read, so shards serve their
+slices concurrently.
+
+Failure semantics: a dead shard surfaces as a prompt
+:class:`~repro.server.protocol.ShardUnavailableError` (after one
+reconnect attempt), which the TCP front-end maps to the structured
+``shard_unavailable`` error — never a hang.  Fault sites
+``router.dispatch`` / ``router.connect`` / ``shard.recv`` (see
+:mod:`repro.faults`) cover the dispatch, connection and reply paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.prime import PrimePPV
+from repro.server import protocol
+from repro.server.client import (
+    ClientTimeout,
+    PPVClient,
+    ProtocolViolation,
+    ServerError,
+)
+from repro.server.protocol import ShardUnavailableError
+
+DEFAULT_HUB_CACHE = 256
+"""Hub prime-PPV entries the router keeps resident (LRU)."""
+
+DEFAULT_CLUSTER_BUDGET = 8
+"""Cluster adjacency segments the router keeps resident (LRU).  Scores
+are residency-independent, so this only tunes refetch traffic."""
+
+_TRANSPORT_ERRORS = (ConnectionError, OSError, ClientTimeout, ProtocolViolation)
+
+
+class ShardFleet:
+    """One lazily-connected :class:`PPVClient` per shard, with retry.
+
+    Shard ``s``'s address is ``addresses[s]``.  Requests fan out
+    pipelined (send everything, then read everything); a transport
+    failure triggers exactly one reconnect-and-retry before the shard
+    is declared unavailable.  Not thread-safe on its own — the owning
+    stores serialise access.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple],
+        *,
+        timeout: float | None = 30.0,
+        fault_plan=None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("a shard fleet needs at least one address")
+        self.addresses = [(str(host), int(port)) for host, port in addresses]
+        self.timeout = timeout
+        self.fault_plan = fault_plan
+        self._clients: dict[int, PPVClient] = {}
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.addresses)
+
+    def close(self) -> None:
+        """Close every open shard connection (idempotent)."""
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "ShardFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def _connect(self, shard: int) -> PPVClient:
+        host, port = self.addresses[shard]
+        if self.fault_plan is not None:
+            self.fault_plan.fire("router.connect", shard=shard, port=port)
+        try:
+            client = PPVClient(host, port, timeout=self.timeout)
+        except _TRANSPORT_ERRORS as error:
+            raise ShardUnavailableError(
+                shard, f"cannot connect to {host}:{port}: {error}"
+            ) from None
+        self._clients[shard] = client
+        return client
+
+    def _client(self, shard: int) -> PPVClient:
+        client = self._clients.get(shard)
+        if client is None:
+            client = self._connect(shard)
+        return client
+
+    def _drop(self, shard: int) -> None:
+        client = self._clients.pop(shard, None)
+        if client is not None:
+            client.close()
+
+    def _retry(self, shard: int, body: dict) -> dict:
+        """One full reconnect + round-trip after a transport failure."""
+        self._drop(shard)
+        try:
+            client = self._connect(shard)  # raises ShardUnavailableError
+        except _TRANSPORT_ERRORS as error:
+            # e.g. an injected ``router.connect`` fault: same verdict as
+            # a refused connection.
+            raise ShardUnavailableError(
+                shard, f"cannot reconnect: {error}"
+            ) from None
+        try:
+            prepared, request_id = client._prepare(dict(body))
+            client.send_raw(protocol.encode(prepared))
+            if self.fault_plan is not None:
+                self.fault_plan.fire("shard.recv", shard=shard)
+            return client._unwrap(client._read_reply(request_id))
+        except _TRANSPORT_ERRORS as error:
+            self._drop(shard)
+            raise ShardUnavailableError(
+                shard, f"lost the shard after reconnecting: {error}"
+            ) from None
+
+    def request_many(self, bodies: "dict[int, dict]") -> "dict[int, dict]":
+        """Fan one request per shard out, pipelined; return per-shard
+        results.
+
+        Raises
+        ------
+        ShardUnavailableError
+            A shard's connection failed and one reconnect + retry
+            failed too.
+        ServerError
+            A shard answered with a structured error (bad request —
+            not a liveness problem).
+        """
+        results: dict[int, dict] = {}
+        pending: list[tuple[int, object]] = []
+        failed: list[int] = []
+        for shard, body in bodies.items():
+            if self.fault_plan is not None:
+                self.fault_plan.fire(
+                    "router.dispatch",
+                    shard=shard,
+                    verb=body.get("verb", "query"),
+                )
+            try:
+                client = self._client(shard)
+                prepared, request_id = client._prepare(dict(body))
+                client.send_raw(protocol.encode(prepared))
+                pending.append((shard, request_id))
+            except _TRANSPORT_ERRORS:
+                failed.append(shard)
+        for shard, request_id in pending:
+            client = self._clients[shard]
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire("shard.recv", shard=shard)
+                results[shard] = client._unwrap(
+                    client._read_reply(request_id)
+                )
+            except _TRANSPORT_ERRORS:
+                failed.append(shard)
+        for shard in failed:
+            results[shard] = self._retry(shard, bodies[shard])
+        return results
+
+    def request(self, shard: int, body: dict) -> dict:
+        """One shard's round-trip with the fleet's retry semantics."""
+        return self.request_many({shard: body})[shard]
+
+    def request_all(self, body: dict) -> "dict[int, dict]":
+        """The same request to every shard, pipelined."""
+        return self.request_many(
+            {shard: dict(body) for shard in range(self.num_shards)}
+        )
+
+
+def _entry_from_payload(hub: int, payload: dict) -> PrimePPV:
+    """Decode one wire hub entry back into a :class:`PrimePPV`.
+
+    JSON serialises int64/float64 exactly (Python floats print
+    shortest-round-trip), so the arrays rebuilt here are bit-identical
+    to the shard's local disk read.
+    """
+    return PrimePPV(
+        source=int(hub),
+        nodes=np.asarray(payload["nodes"], dtype=np.int64),
+        scores=np.asarray(payload["scores"], dtype=np.float64),
+        border_hubs=np.asarray(payload["border_hubs"], dtype=np.int64),
+        border_masses=np.asarray(payload["border_masses"], dtype=np.float64),
+    )
+
+
+class ShardedPPVStore:
+    """A :class:`~repro.storage.ppv_store.DiskPPVStore` look-alike that
+    fetches hub entries from their owning shards.
+
+    ``get_many`` groups wanted hubs by shard and issues one pipelined
+    ``fetch_hubs`` per shard; a bounded LRU keeps hot entries resident
+    so popular hubs are not refetched per batch.  The ``reads`` counter
+    counts hubs actually fetched over the wire (cache hits are free) —
+    per-query ``hub_reads`` accounting is computed upstream from
+    *requested* fetches and is cache-independent, exactly as with the
+    disk store.  Per-shard fetch counts (:attr:`shard_fetches`) feed
+    the router's balance reporting.
+    """
+
+    def __init__(
+        self,
+        fleet: ShardFleet,
+        *,
+        alpha: float,
+        epsilon: float,
+        clip: float,
+        num_nodes: int,
+        hub_shards: "dict[int, int]",
+        cache_hubs: int = DEFAULT_HUB_CACHE,
+        lock: "threading.Lock | None" = None,
+    ) -> None:
+        self.fleet = fleet
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.clip = clip
+        self.num_nodes = num_nodes
+        self.hub_shards = {int(h): int(s) for h, s in hub_shards.items()}
+        self.cache_hubs = max(0, int(cache_hubs))
+        self.reads = 0
+        self.shard_fetches = [0] * fleet.num_shards
+        self._cache: "dict[int, PrimePPV]" = {}  # LRU: most recent last
+        self._lock = lock if lock is not None else threading.Lock()
+        hub_mask = np.zeros(num_nodes, dtype=bool)
+        hub_mask[list(self.hub_shards)] = True
+        self.hub_mask = hub_mask
+        self._hub_list: "list[bool] | None" = None
+
+    def __contains__(self, hub: int) -> bool:
+        return int(hub) in self.hub_shards
+
+    @property
+    def hubs(self) -> np.ndarray:
+        """Sorted hub ids across every shard."""
+        return np.asarray(sorted(self.hub_shards), dtype=np.int64)
+
+    @property
+    def hub_list(self) -> list[bool]:
+        if self._hub_list is None:
+            self._hub_list = self.hub_mask.tolist()
+        return self._hub_list
+
+    def close(self) -> None:
+        """Drop the cache (the fleet is owned by the engine)."""
+        self._cache.clear()
+
+    def _remember(self, hub: int, entry: PrimePPV) -> None:
+        if self.cache_hubs == 0:
+            return
+        self._cache.pop(hub, None)
+        while len(self._cache) >= self.cache_hubs:
+            del self._cache[next(iter(self._cache))]
+        self._cache[hub] = entry
+
+    def get_many(self, hubs) -> "dict[int, PrimePPV]":
+        """Fetch several hubs, one pipelined request per owning shard."""
+        unique = sorted({int(hub) for hub in hubs})
+        for hub in unique:
+            if hub not in self.hub_shards:
+                raise KeyError(hub)
+        with self._lock:
+            out: dict[int, PrimePPV] = {}
+            wanted: dict[int, list[int]] = {}
+            for hub in unique:
+                entry = self._cache.get(hub)
+                if entry is not None:
+                    del self._cache[hub]  # re-insert as most recent
+                    self._cache[hub] = entry
+                    out[hub] = entry
+                else:
+                    wanted.setdefault(self.hub_shards[hub], []).append(hub)
+            if wanted:
+                replies = self.fleet.request_many(
+                    {
+                        shard: {"verb": "fetch_hubs", "hubs": shard_hubs}
+                        for shard, shard_hubs in wanted.items()
+                    }
+                )
+                for shard, shard_hubs in wanted.items():
+                    payloads = replies[shard]
+                    self.shard_fetches[shard] += len(shard_hubs)
+                    self.reads += len(shard_hubs)
+                    for hub in shard_hubs:
+                        entry = _entry_from_payload(
+                            hub, payloads[str(hub)]
+                        )
+                        self._remember(hub, entry)
+                        out[hub] = entry
+            return out
+
+    def get(self, hub: int) -> PrimePPV:
+        """Fetch one hub's prime PPV (through the cache)."""
+        return self.get_many([hub])[int(hub)]
+
+
+class ShardedGraphStore:
+    """A :class:`~repro.storage.disk_engine.DiskGraphStore` look-alike
+    that fetches cluster adjacency from the owning shards.
+
+    Labels and ``num_clusters`` are global (so ``cluster_of`` answers
+    for every node, exactly like a local store); only the adjacency
+    payloads are remote, cached under the same LRU residency model —
+    ``faults`` counts swap-ins, and the cluster-draining push's
+    schedule (hence every score) is residency-independent.
+    """
+
+    def __init__(
+        self,
+        fleet: ShardFleet,
+        *,
+        labels: np.ndarray,
+        cluster_shards: Sequence[int],
+        memory_budget: int = DEFAULT_CLUSTER_BUDGET,
+        lock: "threading.Lock | None" = None,
+    ) -> None:
+        if memory_budget < 1:
+            raise ValueError("memory_budget must be at least one cluster")
+        self.fleet = fleet
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.num_nodes = int(self.labels.size)
+        self.cluster_shards = [int(shard) for shard in cluster_shards]
+        self.num_clusters = len(self.cluster_shards)
+        self.memory_budget = memory_budget
+        self.faults = 0
+        self.shard_fetches = [0] * fleet.num_shards
+        self._labels_list: "list[int] | None" = None
+        self._cache: "dict[int, tuple[dict, dict]]" = {}
+        self._lock = lock if lock is not None else threading.Lock()
+
+    def cluster_of(self, node: int) -> int:
+        return int(self.labels[node])
+
+    @property
+    def labels_list(self) -> list[int]:
+        if self._labels_list is None:
+            self._labels_list = self.labels.tolist()
+        return self._labels_list
+
+    def close(self) -> None:
+        self._cache.clear()
+
+    def _load_cluster(self, cluster: int) -> dict:
+        shard = self.cluster_shards[cluster]
+        with self._lock:
+            payload = self.fleet.request(
+                shard, {"verb": "fetch_cluster", "cluster": int(cluster)}
+            )
+            self.shard_fetches[shard] += 1
+        nodes = payload["nodes"]
+        offsets = payload["offsets"]
+        targets = np.asarray(payload["targets"], dtype=np.int64)
+        probs = np.asarray(payload["probs"], dtype=np.float64)
+        adjacency = {}
+        for position, node in enumerate(nodes):
+            start, end = offsets[position], offsets[position + 1]
+            adjacency[int(node)] = (targets[start:end], probs[start:end])
+        return adjacency
+
+    def resident_cluster(self, cluster: int) -> tuple[dict, dict]:
+        """Same LRU contract as the local store (swap in, bump
+        :attr:`faults`, most recent last)."""
+        entry = self._cache.get(cluster)
+        if entry is None:
+            self.faults += 1
+            entry = (self._load_cluster(cluster), {})
+            while len(self._cache) >= self.memory_budget:
+                del self._cache[next(iter(self._cache))]
+        else:
+            del self._cache[cluster]
+        self._cache[cluster] = entry
+        return entry
+
+    def out_edges(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.resident_cluster(self.cluster_of(node))[0][node]
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        return self.out_edges(node)[0]

@@ -1,0 +1,407 @@
+"""The shard router: exact FastPPV serving over a shard fleet.
+
+:class:`RouterEngine` subclasses the disk backend's
+:class:`~repro.serving.engines.DiskEngine` with the two stores swapped
+for their remote twins (:mod:`repro.sharding.remote`): the real
+``DiskFastPPV`` / ``BatchDiskFastPPV`` kernels run *at the router*,
+fetching hub prime PPVs and cluster adjacency from shard processes on
+demand.  Identical kernel + bit-identical data (JSON round-trips
+float64 exactly) + identical operation order make every result —
+multi-node splices through ``combine_results``, certified top-k
+included — bitwise equal to an unsharded disk deployment of the same
+index.  The router bootstraps purely from a ``shard_info`` fan-out, so
+it needs network reachability to the shards, not the partition root's
+filesystem.
+
+Put a :class:`~repro.server.PPVServer` in front of a ``PPVService``
+over this engine and you have a shard router speaking the ordinary
+JSONL wire protocol; :class:`ShardRouter` bundles exactly that, plus
+spawning one :class:`~repro.server.pool.ServerPool` per shard from a
+partition root, into one lifecycle object.
+
+Hot swap rolls across the fleet: the router's front-end holds (never
+drops) new admissions behind its swap gate, drains in-flight work,
+sends each shard its own ``swap_index`` for ``root/shard_NN``, then
+re-bootstraps the remote stores — queries admitted before the swap are
+answered from the old partition, queries after from the new one.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.engines import DiskEngine, register_backend
+from repro.serving.service import DEFAULT_CACHE_SIZE, LatencyHistogram, PPVService
+from repro.server.client import ServerError
+from repro.server.protocol import ShardUnavailableError
+from repro.server.pool import ServerPool
+from repro.server.server import PPVServer, ServerConfig
+
+from repro.sharding.partition import load_shard_map, shard_dir_name
+from repro.sharding.remote import (
+    DEFAULT_CLUSTER_BUDGET,
+    DEFAULT_HUB_CACHE,
+    ShardedGraphStore,
+    ShardedPPVStore,
+    ShardFleet,
+)
+from repro.sharding.shard import shard_service_factory
+
+_AGREED_KEYS = (
+    "num_shards",
+    "num_nodes",
+    "num_clusters",
+    "alpha",
+    "epsilon",
+    "clip",
+    "cluster_shards",
+)
+
+
+class RouterEngine(DiskEngine):
+    """The ``"sharded"`` backend: a disk engine over remote stores.
+
+    Parameters
+    ----------
+    addresses:
+        ``(host, port)`` of each shard's server (pool), indexed by
+        shard id — shard ``s`` must be served at ``addresses[s]``
+        (validated against every shard's own ``shard_info``).
+    timeout:
+        Per-round-trip deadline on the shard connections; a hung shard
+        surfaces as :class:`ShardUnavailableError` instead of stalling
+        the drain thread forever.
+    cache_hubs / memory_budget:
+        Router-side residency (see :mod:`repro.sharding.remote`);
+        affects refetch traffic only, never results.
+    fault_plan:
+        Tests only: fires the ``router.dispatch`` / ``router.connect``
+        / ``shard.recv`` sites (see :mod:`repro.faults`).
+    delta / fault_budget / max_iterations / kernel:
+        Forwarded to the disk kernels, exactly as on ``DiskEngine``.
+    """
+
+    backend = "sharded"
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple],
+        *,
+        timeout: float | None = 30.0,
+        cache_hubs: int = DEFAULT_HUB_CACHE,
+        memory_budget: int = DEFAULT_CLUSTER_BUDGET,
+        fault_plan=None,
+        **engine_kwargs,
+    ) -> None:
+        self.fleet = ShardFleet(
+            addresses, timeout=timeout, fault_plan=fault_plan
+        )
+        self._cache_hubs = cache_hubs
+        self._memory_budget = memory_budget
+        self._engine_kwargs = engine_kwargs
+        # One reentrant lock serialises ALL fleet traffic (the remote
+        # stores share it): the service's drain thread, stream pump
+        # threads and the front-end's stats/swap to_thread workers may
+        # overlap, and a pipelined connection cannot interleave users.
+        self._lock = threading.RLock()
+        with self._lock:
+            self._bootstrap_locked()
+
+    # ------------------------------------------------------------------ #
+    # Bootstrap
+
+    def _bootstrap_locked(self) -> None:
+        infos = self.fleet.request_all({"verb": "shard_info"})
+        base = infos[0]
+        if int(base["num_shards"]) != self.fleet.num_shards:
+            raise ValueError(
+                f"partition has {base['num_shards']} shards but the "
+                f"fleet lists {self.fleet.num_shards} addresses"
+            )
+        hub_shards: dict[int, int] = {}
+        for shard in range(self.fleet.num_shards):
+            info = infos[shard]
+            if int(info["shard"]) != shard:
+                raise ValueError(
+                    f"address {shard} ({self.fleet.addresses[shard]}) "
+                    f"answered as shard {info['shard']}; the address "
+                    "list must be indexed by shard id"
+                )
+            for key in _AGREED_KEYS:
+                if info[key] != base[key]:
+                    raise ValueError(
+                        f"shard {shard} disagrees with shard 0 on "
+                        f"{key!r} ({info[key]!r} != {base[key]!r}); "
+                        "the fleet is serving mixed partitions"
+                    )
+            for hub in info["hubs"]:
+                if hub in hub_shards:
+                    raise ValueError(
+                        f"hub {hub} is claimed by shards "
+                        f"{hub_shards[hub]} and {shard}"
+                    )
+                hub_shards[hub] = shard
+        ppv_store = ShardedPPVStore(
+            self.fleet,
+            alpha=float(base["alpha"]),
+            epsilon=float(base["epsilon"]),
+            clip=float(base["clip"]),
+            num_nodes=int(base["num_nodes"]),
+            hub_shards=hub_shards,
+            cache_hubs=self._cache_hubs,
+            lock=self._lock,
+        )
+        graph_store = ShardedGraphStore(
+            self.fleet,
+            labels=np.asarray(base["labels"], dtype=np.int64),
+            cluster_shards=base["cluster_shards"],
+            memory_budget=self._memory_budget,
+            lock=self._lock,
+        )
+        DiskEngine.__init__(
+            self, graph_store, ppv_store, **self._engine_kwargs
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hot swap (rolls across the fleet)
+
+    def replace_from_path(self, path) -> None:
+        """Swap the whole fleet to the partition at ``path``.
+
+        ``path`` is a partition root (``shard_map.json`` + shard
+        directories) on a filesystem **the shards can see**; each shard
+        gets ``swap_index`` for its own ``root/shard_NN``, sequentially,
+        then the remote stores re-bootstrap (which also revalidates
+        cross-shard agreement).  The front-end holds admissions while
+        this runs, so no query observes a half-swapped fleet through
+        this router.  If a shard refuses mid-roll the fleet is left
+        mixed — the raised error says which shard; fix and re-issue the
+        swap (swapping to the already-current partition is a no-op per
+        shard).
+        """
+        with self._lock:
+            manifest = load_shard_map(path)
+            if int(manifest["num_shards"]) != self.fleet.num_shards:
+                raise ValueError(
+                    f"partition at {path} has {manifest['num_shards']} "
+                    f"shards; this router fronts {self.fleet.num_shards}"
+                )
+            for shard in range(self.fleet.num_shards):
+                shard_path = str(Path(path) / shard_dir_name(shard))
+                try:
+                    self.fleet.request(
+                        shard, {"verb": "swap_index", "path": shard_path}
+                    )
+                except ServerError as error:
+                    raise ValueError(
+                        f"shard {shard} refused the swap: {error}"
+                    ) from None
+            self._bootstrap_locked()
+
+    # ------------------------------------------------------------------ #
+    # Stats
+
+    def shard_stats(self) -> dict:
+        """Fan ``stats`` to every shard and aggregate.
+
+        Returns per-shard serving counters plus the router's own fetch
+        distribution, the shards' latency histograms merged through
+        :meth:`LatencyHistogram.merge`, and ``fetch_balance`` — the
+        max/mean ratio of per-shard fetch counts (1.0 = perfectly
+        balanced).
+        """
+        with self._lock:
+            replies = self.fleet.request_all({"verb": "stats"})
+            hub_fetches = list(self.ppv_store.shard_fetches)
+            cluster_fetches = list(self.graph_store.shard_fetches)
+        per_shard = []
+        for shard in range(self.fleet.num_shards):
+            reply = replies[shard]
+            per_shard.append(
+                {
+                    "shard": shard,
+                    "hub_fetches": hub_fetches[shard],
+                    "cluster_fetches": cluster_fetches[shard],
+                    "requests_total": reply["server"]["requests_total"],
+                    "worker": reply["worker"],
+                    "latency": reply["service"]["latency"],
+                }
+            )
+        fetches = [
+            hubs + clusters
+            for hubs, clusters in zip(hub_fetches, cluster_fetches)
+        ]
+        mean = sum(fetches) / len(fetches)
+        return {
+            "num_shards": self.fleet.num_shards,
+            "per_shard": per_shard,
+            "latency": LatencyHistogram.merge(
+                [entry["latency"] for entry in per_shard]
+            ),
+            "fetch_balance": (max(fetches) / mean) if mean else 1.0,
+        }
+
+    def close(self) -> None:
+        self.ppv_store.close()
+        self.graph_store.close()
+        self.fleet.close()
+
+
+def _sharded_factory(source, *, graph=None, graph_store=None, **kwargs):
+    if graph is not None or graph_store is not None:
+        raise ValueError(
+            "the sharded backend opens a shard address list; it takes "
+            "no graph=/graph_store="
+        )
+    return RouterEngine(source, **kwargs)
+
+
+register_backend("sharded", _sharded_factory)
+
+
+class ShardRouter:
+    """Everything between a partition root and a listening router port.
+
+    Spawns one :class:`~repro.server.pool.ServerPool` per shard
+    directory, builds a :class:`RouterEngine` over their addresses,
+    wraps it in a ``PPVService`` and serves that with a background
+    :class:`~repro.server.PPVServer`::
+
+        with ShardRouter(root) as (host, port):
+            with PPVClient(host, port) as client:
+                client.query(42, top_k=10)
+
+    Parameters
+    ----------
+    root:
+        A partition root from :func:`repro.sharding.partition.
+        partition_index` (or ``repro shard-index``).
+    workers_per_shard:
+        Processes per shard pool.  The default (1) is also the safe
+        value for hot swap: the router pins one connection per shard,
+        and ``swap_index`` applies to the worker that receives it.
+    config:
+        The router front-end's :class:`ServerConfig` (host/port,
+        admission bounds).  Shard pools always bind an OS-assigned
+        port on ``shard_host``.
+    cache_size:
+        The router service's popularity cache.
+    engine_kwargs:
+        Forwarded to :class:`RouterEngine` (``timeout``, ``kernel``,
+        ``delta``, ``cache_hubs``, ...).
+
+    Attributes
+    ----------
+    pools:
+        The per-shard :class:`ServerPool` objects, by shard id — the
+        fault suites SIGKILL workers through these.
+    service / server:
+        The router-side service and front-end, once started.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        workers_per_shard: int = 1,
+        config: ServerConfig | None = None,
+        shard_host: str = "127.0.0.1",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_batch: int | None = None,
+        max_delay=None,
+        fault_plan=None,
+        **engine_kwargs,
+    ) -> None:
+        if workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be at least 1")
+        self.root = Path(root)
+        self.workers_per_shard = workers_per_shard
+        self.config = config or ServerConfig()
+        self.shard_host = shard_host
+        self.service_kwargs: dict = {"cache_size": cache_size}
+        if max_batch is not None:
+            self.service_kwargs["max_batch"] = max_batch
+        if max_delay is not None:
+            self.service_kwargs["max_delay"] = max_delay
+        self.fault_plan = fault_plan
+        self.engine_kwargs = engine_kwargs
+        self.manifest = load_shard_map(self.root)
+        self.pools: list[ServerPool] = []
+        self.addresses: list[tuple] = []
+        self.service: PPVService | None = None
+        self.server: PPVServer | None = None
+        self._background = None
+
+    def _spawn(self) -> None:
+        """Start the shard pools and build the router service."""
+        if self.service is not None:
+            raise RuntimeError("router already started")
+        for entry in self.manifest["shards"]:
+            pool = ServerPool(
+                shard_service_factory(self.root / entry["dir"]),
+                workers=self.workers_per_shard,
+                config=ServerConfig(host=self.shard_host, port=0),
+            )
+            self.pools.append(pool)
+            self.addresses.append(pool.start())
+        engine = RouterEngine(
+            self.addresses,
+            fault_plan=self.fault_plan,
+            **self.engine_kwargs,
+        )
+        self.service = PPVService(engine, **self.service_kwargs)
+
+    def start(self) -> tuple:
+        """Spawn the shard pools and the router (on a background
+        thread); return the router's bound ``(host, port)``."""
+        try:
+            self._spawn()
+            self.server = PPVServer(self.service, self.config)
+            self._background = self.server.background()
+            return self._background.__enter__()
+        except BaseException:
+            self.stop()
+            raise
+
+    def serve_forever(self, announce=None) -> int:
+        """Foreground CLI path: serve the router on this thread until
+        interrupted, then tear everything down.  Returns the worst
+        shard-pool exit code (0 = all clean)."""
+        import asyncio
+
+        try:
+            self._spawn()
+            self.server = PPVServer(self.service, self.config)
+            try:
+                asyncio.run(self.server.serve(on_ready=announce))
+            except KeyboardInterrupt:
+                pass
+            return max(
+                (pool.worst_exit_code() for pool in self.pools), default=0
+            )
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop the router, close the fleet, tear the pools down."""
+        if self._background is not None:
+            background, self._background = self._background, None
+            background.__exit__(None, None, None)
+        self.server = None
+        if self.service is not None:
+            service, self.service = self.service, None
+            service.close()
+        for pool in self.pools:
+            pool.stop()
+        self.pools = []
+        self.addresses = []
+
+    def __enter__(self) -> tuple:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,228 @@
+"""The shard side of sharded serving: a data-plane engine.
+
+A shard process is an ordinary :class:`~repro.server.PPVServer` worker
+(usually a whole :class:`~repro.server.pool.ServerPool`) whose engine
+is a :class:`ShardEngine` over one shard directory produced by
+:func:`repro.sharding.partition.partition_index`.  It serves no queries
+of its own — all scoring runs at the router, so every byte a shard
+ships is a verbatim read of its stores — just the three data verbs:
+
+``fetch_hubs``
+    Raw prime-PPV entries (``nodes`` / ``scores`` / ``border_hubs`` /
+    ``border_masses``) of the requested owned hubs.
+``fetch_cluster``
+    One owned cluster's stored adjacency arrays (``nodes`` /
+    ``offsets`` / ``targets`` / ``probs``), bypassing the LRU — a
+    fetch is a read of the stored bytes, not a swap-in.
+``shard_info``
+    The shard's partition coordinates (from ``shard.json``) plus the
+    global cluster labels, from which the router bootstraps without
+    ever reading the partition root itself.
+
+Query verbs are refused with a structured ``invalid`` error pointing at
+the router.  Fetches run under one lock: the TCP front-end executes
+them on ``asyncio.to_thread`` workers, and the underlying stores share
+seekable file handles that must not interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.serving.engines import register_backend
+from repro.storage.disk_engine import DiskGraphStore
+from repro.storage.ppv_store import DiskPPVStore
+
+from repro.sharding.partition import SHARD_META_NAME
+
+
+def _encode_entry(entry) -> dict:
+    """One :class:`~repro.core.prime.PrimePPV` as JSON-able arrays.
+
+    ``tolist`` yields Python ints/floats and JSON prints floats
+    shortest-round-trip, so the router's decode is bit-exact.
+    """
+    return {
+        "nodes": entry.nodes.tolist(),
+        "scores": entry.scores.tolist(),
+        "border_hubs": entry.border_hubs.tolist(),
+        "border_masses": entry.border_masses.tolist(),
+    }
+
+
+class ShardEngine:
+    """Serve one shard directory's stores to a shard router.
+
+    Implements just enough of the :class:`~repro.serving.engines.Engine`
+    protocol to sit behind ``PPVService``/``PPVServer`` (lifecycle,
+    ``num_nodes``, ``cache_token``); the query methods refuse, and the
+    real surface is :meth:`fetch_hubs` / :meth:`fetch_cluster` /
+    :meth:`shard_info`.
+    """
+
+    backend = "shard"
+
+    def __init__(self, shard_dir, *, fault_plan=None) -> None:
+        self.shard_dir = Path(shard_dir)
+        self.fault_plan = fault_plan
+        self._lock = threading.Lock()
+        self.meta = self._read_meta(self.shard_dir)
+        self.shard = int(self.meta["shard"])
+        self.num_shards = int(self.meta["num_shards"])
+        self.ppv_store = DiskPPVStore(
+            self.shard_dir / "index.fppv", fault_plan=fault_plan
+        )
+        self.graph_store = DiskGraphStore.open(
+            self.shard_dir / "graph", fault_plan=fault_plan
+        )
+
+    @staticmethod
+    def _read_meta(shard_dir: Path) -> dict:
+        meta_path = shard_dir / SHARD_META_NAME
+        if not meta_path.exists():
+            raise FileNotFoundError(
+                f"no {SHARD_META_NAME} under {shard_dir}; not a shard "
+                "directory (build one with partition_index / repro "
+                "shard-index)"
+            )
+        return json.loads(meta_path.read_text())
+
+    # ------------------------------------------------------------------ #
+    # Engine protocol (lifecycle only)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph_store.num_nodes
+
+    def _refuse(self):
+        raise ValueError(
+            f"shard {self.shard} serves data, not queries; query "
+            "through the shard router"
+        )
+
+    def query_batch(self, nodes, stop):
+        self._refuse()
+
+    def query_top_k_batch(self, nodes, k, budget):
+        self._refuse()
+
+    def query_stream(self, node, stop, on_iteration):
+        self._refuse()
+
+    def cache_token(self) -> object:
+        return self.ppv_store
+
+    def close(self) -> None:
+        self.ppv_store.close()
+
+    # ------------------------------------------------------------------ #
+    # Data verbs
+
+    def fetch_hubs(self, hubs) -> dict:
+        """Raw prime-PPV entries of ``hubs``, keyed by hub id (as JSON
+        string keys on the wire).
+
+        Raises :class:`KeyError` for a hub this shard does not own —
+        the front-end renders that as a structured ``invalid`` error.
+        """
+        with self._lock:
+            entries = self.ppv_store.get_many(hubs)
+        return {str(hub): _encode_entry(entry) for hub, entry in entries.items()}
+
+    def fetch_cluster(self, cluster: int) -> dict:
+        """One owned cluster's stored adjacency arrays.
+
+        Raises :class:`ValueError` for a cluster stored elsewhere.
+        """
+        with self._lock:
+            arrays = self.graph_store.cluster_arrays(int(cluster))
+        return {
+            "nodes": arrays["nodes"].tolist(),
+            "offsets": arrays["offsets"].tolist(),
+            "targets": arrays["targets"].tolist(),
+            "probs": arrays["probs"].tolist(),
+        }
+
+    def shard_info(self) -> dict:
+        """Partition coordinates + global labels for router bootstrap."""
+        with self._lock:
+            labels = self.graph_store.labels.tolist()
+        info = dict(self.meta)
+        info.pop("index_bytes", None)
+        info.pop("graph_bytes", None)
+        info["labels"] = labels
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Hot swap
+
+    def replace_from_path(self, path) -> None:
+        """Reopen this shard's stores from a (new) shard directory.
+
+        The router rolls a partition swap by sending each shard its own
+        ``root/shard_NN`` path; the shard id and shard count must match
+        this process's slice so a fleet can never end up serving two
+        different partitions' coordinates under one id.
+        """
+        shard_dir = Path(path)
+        meta = self._read_meta(shard_dir)
+        if int(meta["shard"]) != self.shard:
+            raise ValueError(
+                f"shard directory {shard_dir} holds shard {meta['shard']}, "
+                f"but this process serves shard {self.shard}"
+            )
+        if int(meta["num_shards"]) != self.num_shards:
+            raise ValueError(
+                f"partition at {shard_dir} has {meta['num_shards']} shards, "
+                f"but this fleet runs {self.num_shards}"
+            )
+        ppv_store = DiskPPVStore(
+            shard_dir / "index.fppv", fault_plan=self.fault_plan
+        )
+        try:
+            graph_store = DiskGraphStore.open(
+                shard_dir / "graph", fault_plan=self.fault_plan
+            )
+        except (FileNotFoundError, ValueError):
+            ppv_store.close()
+            raise
+        with self._lock:
+            old = self.ppv_store
+            self.shard_dir = shard_dir
+            self.meta = meta
+            self.ppv_store = ppv_store
+            self.graph_store = graph_store
+            old.close()
+
+
+def shard_service_factory(shard_dir, *, fault_plan=None):
+    """A zero-argument ``PPVService`` factory for one shard directory —
+    the shape :class:`~repro.server.pool.ServerPool` wants.
+
+    The service carries no result cache (a shard never serves results)
+    and opens its stores inside the worker, after the fork.
+    """
+    shard_dir = Path(shard_dir)
+
+    def factory():
+        from repro.serving.service import PPVService
+
+        return PPVService(
+            ShardEngine(shard_dir, fault_plan=fault_plan), cache_size=0
+        )
+
+    return factory
+
+
+def _shard_factory(source, *, graph=None, graph_store=None, **kwargs):
+    if graph is not None or graph_store is not None:
+        raise ValueError(
+            "the shard backend opens a shard directory; it takes no "
+            "graph=/graph_store="
+        )
+    return ShardEngine(source, **kwargs)
+
+
+register_backend("shard", _shard_factory)

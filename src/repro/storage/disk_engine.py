@@ -107,6 +107,13 @@ class DiskGraphStore:
         ``graph_store.load`` site fires per cluster segment actually
         loaded from disk.  ``None`` (the default) keeps the hot path
         hook-free.
+    clusters:
+        Build only the named clusters — a **partial** store, the unit
+        :mod:`repro.sharding` partitions a graph into.  Labels and
+        ``num_clusters`` stay global (``cluster_of`` answers for every
+        node), but only the owned clusters' segments exist on disk; the
+        manifest records the subset and :meth:`open` honours it.
+        ``None`` (the default) stores every cluster.
 
     Notes
     -----
@@ -125,6 +132,7 @@ class DiskGraphStore:
         memory_budget: int = 1,
         *,
         fault_plan=None,
+        clusters: Sequence[int] | None = None,
     ) -> None:
         if memory_budget < 1:
             raise ValueError("memory_budget must be at least one cluster")
@@ -134,6 +142,14 @@ class DiskGraphStore:
         self.labels = assignment.labels.copy()
         self._labels_list: list[int] | None = None
         self.num_clusters = assignment.num_clusters
+        if clusters is None:
+            self.clusters = list(range(assignment.num_clusters))
+        else:
+            self.clusters = sorted(int(cluster) for cluster in clusters)
+            if self.clusters and not (
+                0 <= self.clusters[0] and self.clusters[-1] < self.num_clusters
+            ):
+                raise ValueError("clusters out of range")
         self.memory_budget = memory_budget
         self.fault_plan = fault_plan
         self.faults = 0
@@ -142,9 +158,9 @@ class DiskGraphStore:
         # of adjacency rows for the push's per-edge hot loop; it lives
         # and dies with its cluster's residency.
         self._cache: "dict[int, tuple[dict, dict]]" = {}
-        self._bytes_per_cluster: list[int] = []
+        self._bytes_per_cluster: dict[int, int] = {}
         edge_probabilities = graph.edge_probabilities
-        for cluster in range(assignment.num_clusters):
+        for cluster in self.clusters:
             nodes = assignment.members(cluster)
             probs = [
                 edge_probabilities[graph.indptr[int(u)] : graph.indptr[int(u) + 1]]
@@ -163,11 +179,12 @@ class DiskGraphStore:
             }
             path = self._cluster_path(cluster)
             np.savez(path, **adjacency)
-            self._bytes_per_cluster.append(path.stat().st_size)
+            self._bytes_per_cluster[cluster] = path.stat().st_size
         np.save(self.directory / "labels.npy", self.labels)
         manifest = {
             "num_nodes": self.num_nodes,
             "num_clusters": self.num_clusters,
+            "clusters": self.clusters,
         }
         (self.directory / "manifest.json").write_text(json.dumps(manifest))
 
@@ -205,10 +222,16 @@ class DiskGraphStore:
         self.fault_plan = fault_plan
         self.faults = 0
         self._cache = {}
-        self._bytes_per_cluster = [
-            self._cluster_path(cluster).stat().st_size
-            for cluster in range(self.num_clusters)
+        # Manifests predating partial stores have no "clusters" entry:
+        # they stored every cluster.
+        self.clusters = [
+            int(cluster)
+            for cluster in manifest.get("clusters", range(self.num_clusters))
         ]
+        self._bytes_per_cluster = {
+            cluster: self._cluster_path(cluster).stat().st_size
+            for cluster in self.clusters
+        }
         return self
 
     def _cluster_path(self, cluster: int) -> Path:
@@ -216,13 +239,14 @@ class DiskGraphStore:
 
     @property
     def largest_cluster_bytes(self) -> int:
-        """On-disk size of the biggest cluster — the minimum working set."""
-        return max(self._bytes_per_cluster)
+        """On-disk size of the biggest stored cluster — the minimum
+        working set."""
+        return max(self._bytes_per_cluster.values())
 
     @property
     def total_bytes(self) -> int:
-        """Total on-disk size of all clusters."""
-        return sum(self._bytes_per_cluster)
+        """Total on-disk size of all stored clusters."""
+        return sum(self._bytes_per_cluster.values())
 
     def cluster_of(self, node: int) -> int:
         """Cluster id owning ``node``."""
@@ -236,14 +260,33 @@ class DiskGraphStore:
             self._labels_list = self.labels.tolist()
         return self._labels_list
 
-    def _load_cluster(self, cluster: int) -> dict:
+    def cluster_arrays(self, cluster: int) -> dict:
+        """One stored cluster's raw arrays (``nodes`` / ``offsets`` /
+        ``targets`` / ``probs``), bypassing the residency cache.
+
+        This is a read of the stored bytes, not a swap-in: no eviction
+        and no :attr:`faults` charge (the ``graph_store.load`` fault
+        site still fires — it counts disk loads, and this is one).  The
+        shard fetch path of :mod:`repro.sharding` serves clusters to
+        routers through this.
+        """
+        if cluster not in self._bytes_per_cluster:
+            raise ValueError(
+                f"cluster {cluster} is not stored here (partial store "
+                f"holding {len(self._bytes_per_cluster)} of "
+                f"{self.num_clusters} clusters)"
+            )
         if self.fault_plan is not None:
             self.fault_plan.fire("graph_store.load", cluster=int(cluster))
         with np.load(self._cluster_path(cluster)) as data:
-            nodes = data["nodes"]
-            offsets = data["offsets"]
-            targets = data["targets"]
-            probs = data["probs"]
+            return {key: data[key] for key in data.files}
+
+    def _load_cluster(self, cluster: int) -> dict:
+        data = self.cluster_arrays(cluster)
+        nodes = data["nodes"]
+        offsets = data["offsets"]
+        targets = data["targets"]
+        probs = data["probs"]
         adjacency = {}
         for position, node in enumerate(nodes):
             start, end = offsets[position], offsets[position + 1]

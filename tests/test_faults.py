@@ -16,6 +16,7 @@ import socket
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro import build_index, select_hubs
@@ -415,3 +416,113 @@ class TestPoolFaults:
         assert all(
             code == -signal.SIGKILL for code in pool.exitcodes()
         )
+
+
+# --------------------------------------------------------------------- #
+# Router fault sites (router.dispatch / router.connect / shard.recv)
+
+
+@pytest.fixture(scope="module")
+def shard_fleet(fig1_graph, tiny_index, tmp_path_factory):
+    """A live 2-shard fleet over the Fig. 1 index, addresses by shard."""
+    from repro.server import ServerConfig
+    from repro.sharding import (
+        load_shard_map,
+        partition_index,
+        shard_service_factory,
+    )
+
+    root = tmp_path_factory.mktemp("faults_shards")
+    assignment = cluster_graph(fig1_graph, 2, seed=1)
+    partition_index(fig1_graph, tiny_index, 2, root, assignment=assignment)
+    pools, addresses = [], []
+    for entry in load_shard_map(root)["shards"]:
+        pool = ServerPool(
+            shard_service_factory(root / entry["dir"]),
+            workers=1,
+            config=ServerConfig(port=0),
+        )
+        pools.append(pool)
+        addresses.append(pool.start())
+    yield addresses
+    for pool in pools:
+        pool.stop()
+
+
+class TestRouterFaultSites:
+    """The three fan-out sites fire where documented, and the fleet's
+    retry-then-declare-unavailable contract holds under injection."""
+
+    def test_connect_fault_is_retried_transparently(self, shard_fleet):
+        from repro.sharding import RouterEngine
+
+        plan = FaultPlan()
+        plan.on("router.connect", error=ConnectionError, times=1)
+        engine = RouterEngine(shard_fleet, fault_plan=plan)
+        try:
+            # Bootstrap survived: the failed connect was redone.
+            assert engine.num_nodes == 8
+        finally:
+            engine.close()
+        assert [r.hit for r in plan.fired_at("router.connect")] == [1]
+        assert plan.hits("router.connect") >= 2  # the reconnect refired it
+
+    def test_recv_fault_is_retried_and_results_stay_bitwise(
+        self, shard_fleet, tiny_disk
+    ):
+        from repro import StopAfterIterations
+        from repro.serving.engines import DiskEngine
+        from repro.sharding import RouterEngine
+
+        store_dir, index_path = tiny_disk
+        local = DiskEngine(
+            DiskGraphStore.open(store_dir), DiskPPVStore(index_path)
+        )
+        plan = FaultPlan()
+        plan.on("shard.recv", error=ConnectionError, times=1)
+        engine = RouterEngine(shard_fleet, fault_plan=plan)
+        try:
+            stop = StopAfterIterations(2)
+            expected = local.query_batch([3], stop)[0]
+            got = engine.query_batch([3], stop)[0]
+            assert np.array_equal(
+                got.result.scores, expected.result.scores
+            )
+        finally:
+            engine.close()
+            local.close()
+        assert len(plan.fired_at("shard.recv")) == 1
+
+    def test_dispatch_fault_surfaces_and_fleet_recovers(self, shard_fleet):
+        from repro.sharding import RouterEngine
+
+        plan = FaultPlan()
+        engine = RouterEngine(shard_fleet, fault_plan=plan)
+        try:
+            hub = int(engine.ppv_store.hubs[0])
+            plan.on("router.dispatch", nth=plan.hits("router.dispatch") + 1)
+            with pytest.raises(InjectedFault):
+                engine.ppv_store.get(hub)
+            assert plan.fired_at("router.dispatch")
+            # One injected dispatch does not poison the connection.
+            assert engine.ppv_store.get(hub).scores.size > 0
+        finally:
+            engine.close()
+
+    def test_persistent_connect_failure_is_shard_unavailable(
+        self, shard_fleet
+    ):
+        from repro.server.protocol import ShardUnavailableError
+        from repro.sharding import RouterEngine
+
+        plan = FaultPlan()
+        # Both of shard 0's connect attempts fail — the bootstrap
+        # fan-out connects shards 0 then 1 (hits 1, 2) and retries
+        # shard 0 on hit 3.  The fleet must declare the shard
+        # unavailable, typed, not leak the raw transport error.
+        plan.on("router.connect", nth=1, error=ConnectionError)
+        plan.on("router.connect", nth=3, error=ConnectionError)
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            RouterEngine(shard_fleet, fault_plan=plan)
+        assert excinfo.value.shard == 0
+        assert len(plan.fired_at("router.connect")) == 2

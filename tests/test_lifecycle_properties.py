@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import settings as hyp_settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -57,6 +58,7 @@ from repro.server import (
     ServerPool,
 )
 from repro.serving import CoalescingScheduler, PPVService, QuerySpec
+from repro.sharding import ShardRouter, load_shard_map, partition_index
 from repro.storage import (
     DiskFastPPV,
     DiskGraphStore,
@@ -89,7 +91,30 @@ INDEX_B_PATH = _DISK_ROOT / "index_b.fppv"
 save_index(INDEX_A, INDEX_A_PATH)
 save_index(INDEX_B, INDEX_B_PATH)
 _STORE_DIR = _DISK_ROOT / "clusters"
-DiskGraphStore(GRAPH, cluster_graph(GRAPH, 2, seed=1), _STORE_DIR)
+# 4 clusters so a 2-shard split gives BOTH shards hubs and non-sink
+# nodes (2 clusters on this graph leave shard 1 a single sink node).
+_ASSIGNMENT = cluster_graph(GRAPH, 4, seed=1)
+DiskGraphStore(GRAPH, _ASSIGNMENT, _STORE_DIR)
+
+# Two 2-shard partitions (one per index) over the SAME assignment as
+# the unsharded store, so the router machine's results are comparable
+# bitwise against the plain disk oracles.
+PART_A_ROOT = _DISK_ROOT / "part_a"
+PART_B_ROOT = _DISK_ROOT / "part_b"
+partition_index(GRAPH, INDEX_A, 2, PART_A_ROOT, assignment=_ASSIGNMENT)
+partition_index(GRAPH, INDEX_B, 2, PART_B_ROOT, assignment=_ASSIGNMENT)
+# A node whose cluster shard 1 owns AND that has out-edges: querying it
+# with cold router caches *must* fetch shard 1's adjacency.
+_SHARD1_CLUSTERS = load_shard_map(PART_A_ROOT)["shards"][1]["clusters"]
+_SHARD1_NODE = int(
+    next(
+        node
+        for node in np.nonzero(
+            np.isin(_ASSIGNMENT.labels, _SHARD1_CLUSTERS)
+        )[0]
+        if any(src == node for src, _ in FIG1_EDGES)
+    )
+)
 
 ETAS = (1, 2)
 MEMORY_ATOL = 1e-12  # documented reassociation round-off headroom
@@ -107,10 +132,10 @@ def _memory_oracles():
     return oracles
 
 
-def _disk_oracles():
+def _disk_oracles(index_path):
     """Fault-free scalar disk results per (node, eta) — the bitwise bar."""
     oracles = {}
-    with DiskPPVStore(INDEX_A_PATH) as store:
+    with DiskPPVStore(index_path) as store:
         engine = DiskFastPPV(DiskGraphStore.open(_STORE_DIR), store)
         for node in range(GRAPH.num_nodes):
             for eta in ETAS:
@@ -120,7 +145,8 @@ def _disk_oracles():
 
 
 MEMORY_ORACLES = _memory_oracles()
-DISK_ORACLES = _disk_oracles()
+DISK_ORACLES = _disk_oracles(INDEX_A_PATH)
+DISK_ORACLES_B = _disk_oracles(INDEX_B_PATH)
 
 nodes_st = st.integers(min_value=0, max_value=GRAPH.num_nodes - 1)
 etas_st = st.sampled_from(ETAS)
@@ -700,3 +726,190 @@ class PoolMachine(RuleBasedStateMachine):
 
 
 TestPoolLifecycle = PoolMachine.TestCase
+
+
+# --------------------------------------------------------------------- #
+# 5. Shard router machine: interleaved queries / rolling swaps / a shard
+#    SIGKILL — every request resolves typed, results match exactly one
+#    partition generation bitwise, the front-end stays reachable
+
+
+class RouterMachine(RuleBasedStateMachine):
+    """A 2-shard :class:`ShardRouter` under random interleavings of
+    queries, pipelined bursts, stats probes, rolling partition swaps
+    and a mid-run shard SIGKILL.  Invariants: no request ever hangs
+    (a dead shard answers ``shard_unavailable`` within the fleet
+    timeout), any served vector bitwise-matches a single partition
+    generation's disk oracle, and the router front-end keeps serving
+    throughout."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Router-side residency off: every query pulls from the shards,
+        # so a killed shard is observable immediately; the short fleet
+        # timeout bounds how long that observation can take.
+        self.router = ShardRouter(
+            PART_A_ROOT,
+            timeout=1.0,
+            cache_size=0,
+            cache_hubs=0,
+            memory_budget=1,
+        )
+        self.address = self.router.start()
+        self.clients: list = []
+        self.index_key = "A"
+        self.swapped = False
+        self.shard_down = False
+
+    def _client(self) -> PPVClient:
+        if not self.clients:
+            self.clients.append(PPVClient(*self.address, timeout=15))
+        return self.clients[0]
+
+    def _drop_client(self, client: PPVClient) -> None:
+        try:
+            client.close()
+        except OSError:
+            pass
+        if client in self.clients:
+            self.clients.remove(client)
+
+    def _oracle(self, node: int, eta: int, key: str) -> np.ndarray:
+        table = DISK_ORACLES if key == "A" else DISK_ORACLES_B
+        return table[(node, eta)]
+
+    def _check_payload(self, node: int, eta: int, payload: dict) -> None:
+        # Disk serving is bitwise: JSON round-trips floats exactly, so
+        # a served top score must EQUAL one generation's oracle score.
+        for key in ("A", "B") if self.swapped else (self.index_key,):
+            oracle = self._oracle(node, eta, key)
+            if all(
+                oracle[int(n)] == float(s) for n, s in payload["top"]
+            ):
+                return
+        raise AssertionError(
+            f"router result for ({node}, eta={eta}) matches no "
+            f"single-partition oracle (current {self.index_key!r}, "
+            f"swapped={self.swapped})"
+        )
+
+    @precondition(lambda self: not self.shard_down)
+    @rule(node=nodes_st, eta=etas_st)
+    def query(self, node: int, eta: int) -> None:
+        client = self._client()
+        try:
+            payload = client.query(node, eta=eta, top=8)
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        self._check_payload(node, eta, payload)
+
+    @precondition(lambda self: not self.shard_down)
+    @rule(data=st.data())
+    def query_pipelined(self, data) -> None:
+        picks = data.draw(st.lists(nodes_st, min_size=1, max_size=4))
+        client = self._client()
+        try:
+            payloads = client.query_many(picks, eta=2, window=2, top=8)
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        assert len(payloads) == len(picks)
+        for node, payload in zip(picks, payloads):
+            self._check_payload(node, 2, payload)
+
+    @rule()
+    def stats_shape(self) -> None:
+        client = self._client()
+        try:
+            stats = client.stats()
+        except (ConnectionError, OSError, ProtocolViolation,
+                ClientTimeout):
+            self._drop_client(client)
+            return
+        shards = stats["shards"]
+        if "error" in shards:
+            # Only a degraded fleet may report an aggregation error.
+            assert self.shard_down
+            return
+        assert shards["num_shards"] == 2
+        assert len(shards["per_shard"]) == 2
+        assert shards["latency"]["count"] == sum(
+            entry["latency"]["count"] for entry in shards["per_shard"]
+        )
+        assert shards["fetch_balance"] >= 1.0
+
+    @precondition(lambda self: not self.shard_down)
+    @rule()
+    def swap_partition(self) -> None:
+        client = self._client()
+        target_key = "B" if self.index_key == "A" else "A"
+        root = PART_B_ROOT if target_key == "B" else PART_A_ROOT
+        try:
+            reply = client.swap_index(str(root))
+        except (ConnectionError, OSError, ProtocolViolation):
+            self._drop_client(client)
+            return
+        assert reply["swapped"] is True
+        self.index_key = target_key
+        self.swapped = True
+
+    def _evict_router_caches(self) -> None:
+        """Drop the router's residency so the next query must refetch
+        (both remote stores' ``close`` only clears their caches)."""
+        engine = self.router.service.engine
+        engine.graph_store.close()
+        engine.ppv_store.close()
+
+    @precondition(lambda self: not self.shard_down)
+    @rule()
+    def kill_shard(self) -> None:
+        """SIGKILL shard 1's worker; traffic that needs it must fail
+        typed and promptly, while the front-end stays up."""
+        self.router.pools[1].kill_worker(0)
+        self.shard_down = True
+        self._evict_router_caches()
+        client = self._client()
+        started = time.monotonic()
+        with pytest.raises(ServerError) as excinfo:
+            client.query(_SHARD1_NODE, eta=1)
+        assert excinfo.value.code == "shard_unavailable"
+        assert time.monotonic() - started < 30  # typed error, not a hang
+        assert client.ping()
+
+    @precondition(lambda self: self.shard_down)
+    @rule()
+    def dead_shard_stays_structured(self) -> None:
+        self._evict_router_caches()
+        client = self._client()
+        with pytest.raises(ServerError) as excinfo:
+            client.query(_SHARD1_NODE, eta=1)
+        assert excinfo.value.code == "shard_unavailable"
+        assert client.ping()
+
+    @invariant()
+    def router_front_end_alive(self) -> None:
+        last: BaseException | None = None
+        for _ in range(3):
+            try:
+                with PPVClient(*self.address, timeout=15) as probe:
+                    assert probe.ping()
+                    return
+            except (ConnectionError, OSError, ProtocolViolation) as error:
+                last = error
+        raise AssertionError(f"router unreachable: {last!r}")
+
+    def teardown(self) -> None:
+        for client in list(self.clients):
+            self._drop_client(client)
+        self.router.stop()
+
+
+TestRouterLifecycle = RouterMachine.TestCase
+# Each router example forks two shard server pools; 200 ci examples
+# would dominate the whole lifecycle job.  Cap this machine (only) at
+# 60 while inheriting everything else from the loaded profile — the
+# deterministic sharding suites carry the exhaustive coverage.
+TestRouterLifecycle.settings = hyp_settings(
+    max_examples=min(60, hyp_settings.default.max_examples),
+)
