@@ -41,7 +41,6 @@ from repro.core import (
     multi_node_ppv,
     query_time_l1_error,
     query_top_k,
-    query_top_k_many,
     select_hubs,
 )
 from repro.graph import (
@@ -88,7 +87,6 @@ __all__ = [
     "query_time_l1_error",
     "multi_node_ppv",
     "query_top_k",
-    "query_top_k_many",
     "StopWhenCertified",
     "TopKResult",
     "autotune_hub_count",

@@ -183,6 +183,33 @@ def _add_query(subparsers) -> None:
     )
     parser.add_argument("--delta", type=float, default=0.005)
     parser.add_argument("--undirected", action="store_true")
+    parser.add_argument(
+        "--family", default=None,
+        choices=("ppv", "top_k", "hitting", "reachability"),
+        help="query family (default: top_k with --top-k, else ppv); "
+        "hitting needs --target, reachability takes --max-length/--alpha",
+    )
+    parser.add_argument(
+        "--target", type=int, default=None,
+        help="hitting family: the target node whose discounted hitting "
+        "probability is estimated",
+    )
+    parser.add_argument(
+        "--beta", type=float, default=None,
+        help="hitting family: per-step discount (default 0.85)",
+    )
+    parser.add_argument(
+        "--max-levels", type=int, default=None,
+        help="hitting family: hub-length levels to splice (default 16)",
+    )
+    parser.add_argument(
+        "--max-length", type=int, default=None,
+        help="reachability family: tour length cutoff (default 6, max 12)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=None,
+        help="reachability family: teleport probability (default 0.15)",
+    )
     parser.set_defaults(func=_cmd_query)
 
 
@@ -196,6 +223,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.family == "top_k" and args.top_k is None:
+        print("error: --family top_k needs --top-k K", file=sys.stderr)
+        return 2
+    if args.family == "ppv" and args.top_k is not None:
+        print(
+            "error: --family ppv does not take --top-k (use --family "
+            "top_k)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.family == "hitting" and args.target is None:
+        print(
+            "error: --family hitting needs --target NODE", file=sys.stderr
+        )
+        return 2
     graph = read_edge_list(args.graph, undirected=args.undirected)
     index = load_index(args.index)
     if index.hub_mask.size != graph.num_nodes:
@@ -206,6 +248,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     service = PPVService.open(index, graph=graph, delta=args.delta)
+
+    if args.family == "hitting":
+        params: dict = {"target": args.target}
+        if args.beta is not None:
+            params["beta"] = args.beta
+        if args.max_levels is not None:
+            params["max_levels"] = args.max_levels
+        with service:
+            results = service.query_many(
+                [
+                    QuerySpec(node, family="hitting", params=params)
+                    for node in args.node
+                ]
+            )
+        for query, result in zip(args.node, results):
+            upper = result.value + result.remaining_mass
+            print(
+                f"query {query} -> target {args.target}: discounted "
+                f"hitting probability in [{result.value:.6f}, "
+                f"{upper:.6f}] after {result.iterations} levels"
+            )
+        return 0
+
+    if args.family == "reachability":
+        params = {}
+        if args.max_length is not None:
+            params["max_length"] = args.max_length
+        if args.alpha is not None:
+            params["alpha"] = args.alpha
+        with service:
+            results = service.query_many(
+                [
+                    QuerySpec(node, family="reachability", params=params)
+                    for node in args.node
+                ]
+            )
+        for query, result in zip(args.node, results):
+            print(
+                f"query {query}: tour-enumerated PPV up to length "
+                f"{result.max_length} (truncation bound "
+                f"{result.truncation_bound:.2e})"
+            )
+            for rank, (node, score) in enumerate(
+                result.top_k(args.top), start=1
+            ):
+                print(f"{rank:4d}. node {node:8d}  score {score:.6f}")
+        return 0
 
     if args.top_k is not None:
         budget = args.eta if args.eta is not None else DEFAULT_TOPK_BUDGET

@@ -13,7 +13,7 @@ Public surface:
 * :class:`~repro.core.batch.BatchFastPPV` — the batched twin: whole
   workloads as sparse-matrix rounds over the
   :class:`~repro.core.splice.SpliceMatrix` lowering of the index, with a
-  completed-PPV LRU cache (``FastPPV.query_many`` delegates here).
+  completed-PPV LRU cache (``FastPPV.batch_engine`` exposes it).
 * :mod:`repro.core.errors` — the Theorem 2 error bound and query-time L1
   error.
 * :mod:`repro.core.linearity` — multi-node queries via the Linearity
@@ -28,7 +28,11 @@ from repro.core.batch import BatchFastPPV
 from repro.core.dynamic import add_edges, remove_edges, update_index
 from repro.core.errors import l1_error_bound, query_time_l1_error
 from repro.core.exact import exact_ppv, exact_ppv_matrix
-from repro.core.hitting import exact_hitting, scheduled_hitting
+from repro.core.hitting import (
+    HittingEstimate,
+    exact_hitting,
+    scheduled_hitting,
+)
 from repro.core.hubs import HubPolicy, select_hubs
 from repro.core.index import PPVIndex, build_index
 from repro.core.linearity import multi_node_ppv
@@ -52,11 +56,14 @@ from repro.core.query import (
     StopAtL1Error,
     any_of,
 )
+from repro.core.reachability import (
+    ReachabilityResult,
+    reachability_query,
+)
 from repro.core.topk import (
     StopWhenCertified,
     TopKResult,
     query_top_k,
-    query_top_k_many,
 )
 
 __all__ = [
@@ -85,7 +92,6 @@ __all__ = [
     "query_time_l1_error",
     "multi_node_ppv",
     "query_top_k",
-    "query_top_k_many",
     "StopWhenCertified",
     "TopKResult",
     "add_edges",
@@ -95,4 +101,7 @@ __all__ = [
     "AutotuneResult",
     "exact_hitting",
     "scheduled_hitting",
+    "HittingEstimate",
+    "ReachabilityResult",
+    "reachability_query",
 ]

@@ -171,6 +171,7 @@ def scheduled_hitting(
     max_levels: int = 16,
     epsilon: float = 1e-9,
     delta: float = 0.0,
+    push_cache: dict[int, tuple[float, dict[int, float], float]] | None = None,
 ) -> HittingEstimate:
     """Discounted hitting probability by hub-length-scheduled splicing.
 
@@ -178,10 +179,15 @@ def scheduled_hitting(
     splices hub-rooted prime hitting pushes (cached per call) onto the
     level ``i-1`` frontier.  Stops when the frontier dies, ``max_levels``
     is reached, or every frontier mass falls below ``delta``.
+
+    ``push_cache`` shares prime hitting pushes across calls that agree on
+    ``(target, beta, epsilon)`` and the graph/hub_mask — entries are pure
+    functions of those, so sharing is result-preserving (serving batches
+    same-target queries through one cache).
     """
     if hub_mask.shape != (graph.num_nodes,):
         raise ValueError("hub_mask must have one entry per node")
-    cache: dict[int, tuple[float, dict[int, float], float]] = {}
+    cache = push_cache if push_cache is not None else {}
 
     def prime_of(node: int) -> tuple[float, dict[int, float], float]:
         if node not in cache:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Protocol
 
 import numpy as np
 
@@ -317,9 +317,9 @@ class FastPPV:
     def batch_engine(self):
         """The :class:`~repro.core.batch.BatchFastPPV` twin of this engine.
 
-        Built lazily with the same parameters; :meth:`query_many`
-        delegates to it so workloads get the sparse-matrix batch path
-        (and its completed-PPV cache) transparently.
+        Built lazily with the same parameters, so workloads get the
+        sparse-matrix batch path (and its completed-PPV cache) through
+        one shared twin.
         """
         if self._batch_engine is None:
             from repro.core.batch import BatchFastPPV
@@ -332,77 +332,3 @@ class FastPPV:
                 online_epsilon=self.online_epsilon,
             )
         return self._batch_engine
-
-    def query_many(
-        self,
-        queries: Sequence[int],
-        stop: StoppingCondition | None = None,
-        on_iteration: "Callable[[int, QueryState], None] | None" = None,
-        top_k: int | None = None,
-        top_k_max_iterations: int = 32,
-    ) -> list:
-        """Run a whole workload through the batch engine, preserving order.
-
-        Equivalent to calling :meth:`query` per element (see
-        :mod:`repro.core.batch` for the exact contract) but executed as
-        batched sparse-matrix rounds.  ``on_iteration`` here takes the
-        query's *position in the batch* as a first argument:
-        ``on_iteration(position, state)``.
-
-        Passing ``top_k`` switches the workload to certified top-k
-        serving: every query runs until its top-``top_k`` set is provably
-        exact (or ``top_k_max_iterations`` is exhausted) and a
-        :class:`~repro.core.topk.TopKResult` is returned per query — see
-        :meth:`~repro.core.batch.BatchFastPPV.query_top_k_many` for the
-        batch-retirement contract.  ``top_k`` is mutually exclusive with
-        ``stop``.
-
-        Only the pure built-in stopping conditions
-        (:class:`StopAfterIterations`, :class:`StopAtL1Error`,
-        :class:`~repro.core.topk.StopWhenCertified` and
-        :func:`any_of` combinations of them) take the batch path.
-        Time-based and user-defined conditions keep the original
-        per-query scalar loop: in a batch, elapsed time is shared and
-        evaluation is interleaved, which would silently change what such
-        conditions mean.  Use
-        :class:`~repro.core.batch.BatchFastPPV.query_many` directly to
-        opt in to shared-clock batch semantics for them.
-
-        .. deprecated::
-            Per-engine workload spellings (``query_many`` /
-            ``query_top_k_many`` on the four engines) are superseded by
-            the :class:`~repro.serving.PPVService` façade, which serves
-            the same :class:`~repro.serving.QuerySpec` on any backend,
-            coalesces concurrent submissions into engine batches, shares
-            a popularity-aware result cache, and streams per-iteration
-            snapshots.  This method remains as a thin shim over the
-            batch engine.
-        """
-        from repro.core.batch import batch_safe
-
-        if top_k is not None:
-            if stop is not None:
-                raise ValueError("pass either stop or top_k, not both")
-            return self.batch_engine.query_top_k_many(
-                queries,
-                k=top_k,
-                max_iterations=top_k_max_iterations,
-                on_iteration=on_iteration,
-            )
-        if stop is not None and not batch_safe(stop):
-            results = []
-            for position, query in enumerate(queries):
-                callback = None
-                if on_iteration is not None:
-                    callback = (
-                        lambda state, _position=position: on_iteration(
-                            _position, state
-                        )
-                    )
-                results.append(
-                    self.query(int(query), stop=stop, on_iteration=callback)
-                )
-            return results
-        return self.batch_engine.query_many(
-            queries, stop=stop, on_iteration=on_iteration
-        )

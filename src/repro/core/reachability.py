@@ -17,6 +17,7 @@ exactly the computation of the paper's Fig. 1(b) example.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -25,6 +26,10 @@ from repro.graph.digraph import DiGraph
 from repro.graph.pagerank import DEFAULT_ALPHA
 
 Tour = tuple[int, ...]
+
+DEFAULT_MAX_TOUR_LENGTH = 6
+"""Served default for :func:`reachability_query`.  Enumeration is
+exponential in tour length, so the served family keeps this small."""
 
 
 def tour_reachability(graph: DiGraph, tour: Sequence[int], alpha: float = DEFAULT_ALPHA) -> float:
@@ -97,6 +102,66 @@ def brute_force_ppv(
     for tour in enumerate_tours(graph, source, max_length):
         scores[tour[-1]] += tour_reachability(graph, tour, alpha)
     return scores
+
+
+@dataclass(frozen=True)
+class ReachabilityResult:
+    """Truncated-tour PPV scores with their certified truncation bound.
+
+    The served form of :func:`brute_force_ppv`: ``scores`` sums Eq. 2
+    over every tour of natural length ``<= max_length``, and
+    ``truncation_bound = (1 - alpha)^(max_length + 1)`` upper-bounds the
+    total L1 mass of the tours that were cut off — the same
+    accuracy-aware contract the scheduled engines carry.
+    """
+
+    query: int
+    max_length: int
+    alpha: float
+    scores: np.ndarray = field(repr=False)
+    truncation_bound: float = 0.0
+
+    def top_k(self, k: int) -> list[tuple[int, float]]:
+        """Top ``k`` (node, score) pairs, score-descending, ties by node.
+
+        Same deterministic order as every other served ranking:
+        ``lexsort`` on (-score, node index).
+        """
+        size = min(int(k), self.scores.shape[0])
+        order = np.lexsort((np.arange(self.scores.shape[0]), -self.scores))
+        return [
+            (int(node), float(self.scores[node])) for node in order[:size]
+        ]
+
+
+def reachability_query(
+    graph: DiGraph,
+    source: int,
+    max_length: int = DEFAULT_MAX_TOUR_LENGTH,
+    alpha: float = DEFAULT_ALPHA,
+) -> ReachabilityResult:
+    """Serve :func:`brute_force_ppv` with its truncation certificate.
+
+    Raises
+    ------
+    ValueError
+        If ``source`` is out of range, ``max_length`` is negative, or
+        ``alpha`` is outside ``(0, 1]``.
+    """
+    if not 0 <= source < graph.num_nodes:
+        raise ValueError(f"source {source} out of range")
+    if max_length < 0:
+        raise ValueError("max_length must be >= 0")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must lie in (0, 1]")
+    scores = brute_force_ppv(graph, source, max_length, alpha=alpha)
+    return ReachabilityResult(
+        query=int(source),
+        max_length=int(max_length),
+        alpha=float(alpha),
+        scores=scores,
+        truncation_bound=float((1.0 - alpha) ** (max_length + 1)),
+    )
 
 
 def brute_force_increment(

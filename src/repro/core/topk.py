@@ -19,7 +19,6 @@ out), typically far earlier than a fixed accuracy target would require.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -168,28 +167,3 @@ def query_top_k(
         query, stop=StopWhenCertified(k=k, max_iterations=max_iterations)
     )
     return top_k_result(result, k)
-
-
-def query_top_k_many(
-    engine,
-    queries: Sequence[int],
-    k: int = 10,
-    max_iterations: int = 32,
-) -> list[TopKResult]:
-    """Batched :func:`query_top_k`: one certified top-k per query.
-
-    ``engine`` may be a :class:`~repro.core.query.FastPPV` (its lazily
-    built batch twin is used) or a
-    :class:`~repro.core.batch.BatchFastPPV`.  See
-    :meth:`~repro.core.batch.BatchFastPPV.query_top_k_many` for the
-    batch-retirement contract; results are equivalent to calling
-    :func:`query_top_k` per query on the scalar engine.
-
-    .. deprecated::
-        Superseded by :class:`~repro.serving.PPVService` with a
-        ``QuerySpec(node, top_k=K)`` — the façade spelling works on both
-        backends and coalesces concurrent top-k traffic.  This helper
-        remains as a thin shim.
-    """
-    batch = getattr(engine, "batch_engine", engine)
-    return batch.query_top_k_many(queries, k=k, max_iterations=max_iterations)

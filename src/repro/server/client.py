@@ -220,11 +220,19 @@ class PPVClient:
         top_k: int | None = None,
         budget: int | None = None,
         top: int | None = None,
+        family: str | None = None,
+        params: dict | None = None,
     ) -> dict:
-        """Serve one query; returns the result payload (see protocol)."""
+        """Serve one query; returns the result payload (see protocol).
+
+        ``family`` selects the query family (default: ``top_k`` when
+        ``top_k`` is given, else ``ppv``); ``params`` carries the
+        family's own fields, e.g. ``family="hitting",
+        params={"target": 7}``.
+        """
         body = self._query_body(
             "query", nodes, weights, eta, target_error, time_limit,
-            top_k, budget, top,
+            top_k, budget, top, family=family, params=params,
         )
         return self.request(body)
 
@@ -239,6 +247,8 @@ class PPVClient:
         top_k: int | None = None,
         budget: int | None = None,
         top: int | None = None,
+        family: str | None = None,
+        params: dict | None = None,
     ) -> list[dict]:
         """Serve many queries over this one connection, pipelined.
 
@@ -257,7 +267,7 @@ class PPVClient:
         bodies = [
             self._query_body(
                 "query", nodes, None, eta, target_error, time_limit,
-                top_k, budget, top,
+                top_k, budget, top, family=family, params=params,
             )
             for nodes in nodes_list
         ]
@@ -363,9 +373,16 @@ class PPVClient:
     @staticmethod
     def _query_body(
         verb, nodes, weights, eta, target_error, time_limit, top_k,
-        budget, top,
+        budget, top, family=None, params=None,
     ) -> dict:
         body: dict = {"verb": verb}
+        if family is not None:
+            body["family"] = str(family)
+        if params:
+            # Family parameters travel as top-level request fields (the
+            # family's PARAM_NAMES), e.g. {"family": "hitting",
+            # "target": 7}.
+            body.update(params)
         if isinstance(nodes, (list, tuple)):
             body["nodes"] = [int(n) for n in nodes]
         else:

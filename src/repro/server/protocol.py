@@ -17,11 +17,29 @@ Requests
 * ``verb`` — optional, default ``"query"``.  Known verbs:
 
   - ``query`` — serve one :class:`~repro.serving.QuerySpec`: ``node``
-    (or ``nodes`` + optional ``weights``), and either ``eta`` /
-    ``target_error`` / ``time_limit`` or ``top_k`` + ``budget``
-    (certified top-k); ``top`` bounds the ranked scores returned.
-  - ``stream`` — like ``query`` (single node only) but the response is
-    a sequence of per-iteration frames followed by a ``done`` record.
+    (or ``nodes`` + optional ``weights``), an optional ``family``
+    naming the query family, plus the family's own fields.  Without
+    ``family`` the request means what it always has: ``top_k`` +
+    ``budget`` selects certified top-k, anything else is plain PPV.
+    Per-family fields:
+
+    ========================  ==========================================
+    family                    request fields
+    ========================  ==========================================
+    ``ppv`` (default)         ``eta`` / ``target_error`` / ``time_limit``
+    ``top_k``                 ``top_k`` (required), ``budget``
+    ``hitting``               ``target`` (required), ``beta``,
+                              ``max_levels``, ``epsilon``, ``delta``
+    ``reachability``          ``max_length``, ``alpha``
+    registered extensions     the family's ``PARAM_NAMES`` fields
+    ========================  ==========================================
+
+    ``top`` bounds the ranked scores returned (score-ranked families).
+    An unknown family, or one the serving backend cannot answer, is
+    refused with the structured ``unsupported_family`` error.
+  - ``stream`` — like ``query`` (single node, streamable families —
+    ``ppv``/``top_k`` — only) but the response is a sequence of
+    per-iteration frames followed by a ``done`` record.
   - ``stats`` — service + server counters.
   - ``ping`` — liveness/round-trip probe.
   - ``swap_index`` — hot-swap the served index from ``path``: in-flight
@@ -50,22 +68,20 @@ of one stream are ordered.
 Error codes (:data:`ERROR_CODES`): ``malformed`` (not JSON / not an
 object), ``oversized`` (line longer than the server's limit),
 ``unsupported_version``, ``unknown_verb``, ``invalid`` (bad or missing
-fields, out-of-range nodes, unsupported operation), ``unavailable``
-(server shutting down), ``shard_unavailable`` (a shard router lost a
-shard process mid-query and could not reconnect), ``internal``.
+fields, out-of-range nodes, unsupported operation),
+``unsupported_family`` (a ``family`` this server does not know, or one
+its backend lacks the capability to answer — shard routers refuse
+graph-resident families this way), ``unavailable`` (server shutting
+down), ``shard_unavailable`` (a shard router lost a shard process
+mid-query and could not reconnect), ``internal``.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.core.query import (
-    StopAfterIterations,
-    StopAfterTime,
-    StopAtL1Error,
-    any_of,
-)
-from repro.serving.spec import DEFAULT_TOPK_BUDGET, QuerySnapshot, QuerySpec
+from repro.serving.families import available_families, resolve_family
+from repro.serving.spec import QuerySnapshot, QuerySpec
 
 PROTOCOL_VERSION = 1
 
@@ -77,6 +93,7 @@ E_OVERSIZED = "oversized"
 E_UNSUPPORTED_VERSION = "unsupported_version"
 E_UNKNOWN_VERB = "unknown_verb"
 E_INVALID = "invalid"
+E_UNSUPPORTED_FAMILY = "unsupported_family"
 E_UNAVAILABLE = "unavailable"
 E_SHARD_UNAVAILABLE = "shard_unavailable"
 E_INTERNAL = "internal"
@@ -87,6 +104,7 @@ ERROR_CODES = (
     E_UNSUPPORTED_VERSION,
     E_UNKNOWN_VERB,
     E_INVALID,
+    E_UNSUPPORTED_FAMILY,
     E_UNAVAILABLE,
     E_SHARD_UNAVAILABLE,
     E_INTERNAL,
@@ -193,33 +211,47 @@ def request_verb(request: dict) -> str:
     return verb
 
 
-def spec_from_request(request: dict) -> QuerySpec:
-    """Translate a ``query``/``stream`` request into a :class:`QuerySpec`.
+def family_from_request(request: dict):
+    """Resolve the request's query family from its ``family`` field.
+
+    Family-less requests keep their original meaning: ``top_k`` present
+    selects ``top_k``, anything else is plain ``ppv``.
 
     Raises
     ------
     ProtocolError
-        ``invalid`` when node/stop fields are missing or unusable.
+        ``unsupported_family`` for a family this process has not
+        registered.
     """
-    nodes = request.get("nodes", request.get("node"))
-    if nodes is None:
-        raise ProtocolError(E_INVALID, 'request needs "node" or "nodes"')
-    weights = request.get("weights")
+    name = request.get("family")
+    if name is None:
+        name = "top_k" if request.get("top_k") is not None else "ppv"
     try:
-        if request.get("top_k") is not None:
-            return QuerySpec(
-                nodes,
-                weights=weights,
-                top_k=int(request["top_k"]),
-                top_k_budget=int(request.get("budget", DEFAULT_TOPK_BUDGET)),
-            )
-        conditions = [StopAfterIterations(int(request.get("eta", 2)))]
-        if request.get("target_error") is not None:
-            conditions.append(StopAtL1Error(float(request["target_error"])))
-        if request.get("time_limit") is not None:
-            conditions.append(StopAfterTime(float(request["time_limit"])))
-        stop = conditions[0] if len(conditions) == 1 else any_of(*conditions)
-        return QuerySpec(nodes, weights=weights, stop=stop)
+        return resolve_family(str(name))
+    except KeyError:
+        raise ProtocolError(
+            E_UNSUPPORTED_FAMILY,
+            f"unknown query family {name!r}; this server knows "
+            f"{list(available_families())}",
+        ) from None
+
+
+def spec_from_request(request: dict) -> QuerySpec:
+    """Translate a ``query``/``stream`` request into a :class:`QuerySpec`.
+
+    The request's family (see :func:`family_from_request`) owns the
+    field decoding, so registered extension families are reachable over
+    the wire with no protocol change.
+
+    Raises
+    ------
+    ProtocolError
+        ``unsupported_family`` for an unknown family; ``invalid`` when
+        node/stop/parameter fields are missing or unusable.
+    """
+    family = family_from_request(request)
+    try:
+        return family.decode_request(request)
     except ProtocolError:
         raise
     except (TypeError, ValueError) as error:
@@ -244,28 +276,13 @@ def top_from_request(request: dict, default: int) -> int:
 
 
 def render_result(spec: QuerySpec, result, top: int) -> dict:
-    """The response payload for any backend's result shape."""
-    payload: dict = {"nodes": list(spec.nodes)}
-    inner = result
-    if hasattr(result, "cluster_faults"):  # disk result wrappers
-        payload["cluster_faults"] = result.cluster_faults
-        payload["hub_reads"] = result.hub_reads
-        if result.truncated:
-            payload["truncated"] = True
-        inner = result.topk if hasattr(result, "topk") else result.result
-    payload["iterations"] = int(inner.iterations)
-    payload["l1_error"] = float(inner.l1_error)
-    if hasattr(inner, "certified"):  # certified top-k
-        payload["certified"] = bool(inner.certified)
-        payload["top"] = [
-            [int(node), float(inner.scores[node])] for node in inner.nodes
-        ]
-    else:
-        payload["top"] = [
-            [int(node), float(inner.scores[node])]
-            for node in inner.top_k(top)
-        ]
-    return payload
+    """The response payload for any family's result shape.
+
+    Dispatches to the spec's family codec; ``ppv``/``top_k`` payloads
+    are unchanged from the pre-family protocol (no ``family`` key), new
+    families tag their payloads with one.
+    """
+    return resolve_family(spec.family).encode_result(spec, result, top)
 
 
 def render_snapshot(snapshot: QuerySnapshot, top: int) -> dict:

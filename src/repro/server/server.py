@@ -52,9 +52,11 @@ from repro.server.protocol import (
     E_OVERSIZED,
     E_SHARD_UNAVAILABLE,
     E_UNAVAILABLE,
+    E_UNSUPPORTED_FAMILY,
     ProtocolError,
     ShardUnavailableError,
 )
+from repro.serving.families import UnsupportedFamilyError, supported_families
 
 DEFAULT_MAX_INFLIGHT = 256
 DEFAULT_MAX_INFLIGHT_PER_CONN = 32
@@ -553,6 +555,15 @@ class PPVServer:
     ) -> None:
         try:
             handle = self.service.submit(spec)
+        except UnsupportedFamilyError as error:
+            self.counters.count_error(E_UNSUPPORTED_FAMILY)
+            await self._send(
+                connection,
+                protocol.error_response(
+                    request_id, E_UNSUPPORTED_FAMILY, str(error)
+                ),
+            )
+            return
         except ValueError as error:
             self.counters.count_error(E_INVALID)
             await self._send(
@@ -653,6 +664,8 @@ class PPVServer:
                 else:  # error
                     if isinstance(payload, ShardUnavailableError):
                         code = E_SHARD_UNAVAILABLE
+                    elif isinstance(payload, UnsupportedFamilyError):
+                        code = E_UNSUPPORTED_FAMILY
                     elif isinstance(payload, (ValueError, TypeError)):
                         code = E_INVALID
                     else:
@@ -747,9 +760,13 @@ class PPVServer:
                 "queue_depth": service_stats.queue_depth,
                 "in_flight": service_stats.in_flight,
                 "latency": service_stats.latency,
+                "families": service_stats.families,
             },
             "worker": {"index": self.worker_index, "pid": os.getpid()},
             "backend": getattr(self.service.engine, "backend", None),
+            # Capability advertisement: the query families this
+            # worker's engine can answer.
+            "families": list(supported_families(self.service.engine)),
         }
         # A shard router aggregates its shards' stats (merged latency,
         # per-shard balance) into one extra section.

@@ -18,6 +18,13 @@ spelling.  This package puts them behind one backend-agnostic API:
 * A **popularity-aware cache**: completed results are cached with hit
   counters feeding eviction, shared by both backends and invalidated
   whenever the index state changes (:mod:`repro.serving.cache`).
+* The **query-family registry** (:mod:`repro.serving.families`): every
+  request is a family-tagged spec (``ppv``, ``top_k``, ``hitting``,
+  ``reachability``, or a registered extension), and the
+  :class:`QueryFamily` descriptor gives the stack its validation,
+  batching, caching, and wire codec — so new analyses get
+  coalescing/caching/network for free
+  (:func:`~repro.serving.families.register_family`).
 * The :class:`~repro.serving.engines.Engine` protocol + registry, the
   extension point for further backends
   (:func:`~repro.serving.engines.register_backend`).
@@ -36,6 +43,15 @@ Quickstart::
 """
 
 from repro.serving.cache import PopularityCache
+from repro.serving.families import (
+    FamilyTask,
+    QueryFamily,
+    UnsupportedFamilyError,
+    available_families,
+    register_family,
+    resolve_family,
+    supported_families,
+)
 from repro.serving.engines import (
     DiskEngine,
     Engine,
@@ -58,6 +74,13 @@ __all__ = [
     "PopularityCache",
     "CoalescingScheduler",
     "LatencyHistogram",
+    "QueryFamily",
+    "FamilyTask",
+    "UnsupportedFamilyError",
+    "register_family",
+    "resolve_family",
+    "available_families",
+    "supported_families",
     "Engine",
     "MemoryEngine",
     "DiskEngine",

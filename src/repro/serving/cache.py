@@ -23,7 +23,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.core.hitting import HittingEstimate
 from repro.core.query import QueryResult
+from repro.core.reachability import ReachabilityResult
 from repro.core.topk import TopKResult
 from repro.storage.disk_engine import DiskQueryResult, DiskTopKResult
 
@@ -32,9 +34,10 @@ DEFAULT_CACHE_SIZE = 256
 
 
 def copy_served(result):
-    """Deep-enough copy of any backend's result object.
+    """Deep-enough copy of any known served result object.
 
-    Covers the four result shapes the engines produce; the copy shares no
+    Covers the four PPV result shapes the engines produce plus the
+    ``hitting`` and ``reachability`` family results; the copy shares no
     mutable buffers with the original.
     """
     if isinstance(result, QueryResult):
@@ -68,6 +71,21 @@ def copy_served(result):
             cluster_faults=result.cluster_faults,
             hub_reads=result.hub_reads,
             truncated=result.truncated,
+        )
+    if isinstance(result, HittingEstimate):
+        return HittingEstimate(
+            value=result.value,
+            remaining_mass=result.remaining_mass,
+            iterations=result.iterations,
+            history=list(result.history),
+        )
+    if isinstance(result, ReachabilityResult):
+        return ReachabilityResult(
+            query=result.query,
+            max_length=result.max_length,
+            alpha=result.alpha,
+            scores=result.scores.copy(),
+            truncation_bound=result.truncation_bound,
         )
     raise TypeError(f"unsupported served result type: {type(result)!r}")
 

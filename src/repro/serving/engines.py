@@ -1,13 +1,12 @@
 """The backend-agnostic ``Engine`` protocol, its adapters, and registry.
 
-PRs 1-2 grew four engine classes with their own ``query`` /
-``query_many`` / ``query_top_k_many`` spellings.  The serving layer
-narrows all of them to one small protocol (:class:`Engine`): a batch
-call per result kind plus a scalar streaming call, with uniform
-stop-condition routing (time-based or user-defined conditions fall back
-to the per-query scalar loop on every backend, exactly as
-``FastPPV.query_many`` always did) and a ``cache_token`` that tells the
-service when cached results went stale.
+PRs 1-2 grew four engine classes with their own scalar and batch query
+spellings.  The serving layer narrows all of them to one small protocol
+(:class:`Engine`): a batch call per result kind plus a scalar streaming
+call, with uniform stop-condition routing (time-based or user-defined
+conditions fall back to the per-query scalar loop on every backend) and
+a ``cache_token`` that tells the service when cached results went
+stale.
 
 Backends register under a name (``"memory"``, ``"disk"``) in a module
 registry; :meth:`~repro.serving.PPVService.open` resolves a name — or
@@ -93,8 +92,8 @@ class MemoryEngine:
 
     Builds a fresh scalar engine and a cache-less batch twin (the
     service's popularity cache replaces the engine-level LRU, so results
-    are cached exactly once) and reuses ``FastPPV.query_many``'s routing
-    rules for stop-condition safety.
+    are cached exactly once); non-batch-safe stopping conditions route
+    through the scalar per-query loop so their semantics survive.
     """
 
     backend = "memory"
@@ -124,9 +123,11 @@ class MemoryEngine:
             max_iterations=self._max_iterations,
             online_epsilon=self._online_epsilon,
         )
-        # The scalar engine's lazy batch twin, with the engine-level LRU
-        # disabled: caching lives in the service's PopularityCache.
-        self._scalar._batch_engine = BatchFastPPV(
+        # The batch twin, with the engine-level LRU disabled: caching
+        # lives in the service's PopularityCache.  Pre-assigned as the
+        # scalar engine's lazy twin too, so both views share one splice
+        # lowering.
+        self._batch = BatchFastPPV(
             self.graph,
             self.index,
             delta=self._delta,
@@ -135,17 +136,24 @@ class MemoryEngine:
             cache_size=0,
             chunk_size=self._chunk_size,
         )
+        self._scalar._batch_engine = self._batch
 
     @property
     def num_nodes(self) -> int:
         return self.graph.num_nodes
 
     def query_batch(self, nodes, stop):
-        return self._scalar.query_many(list(nodes), stop=stop)
+        if not batch_safe(stop):
+            # Time-based / user-defined conditions keep per-query scalar
+            # semantics: in a batch, elapsed time is shared and
+            # evaluation interleaves, which would silently change what
+            # such conditions mean.
+            return [self._scalar.query(int(n), stop=stop) for n in nodes]
+        return self._batch.query_many(list(nodes), stop=stop)
 
     def query_top_k_batch(self, nodes, k, budget):
-        return self._scalar.query_many(
-            list(nodes), top_k=k, top_k_max_iterations=budget
+        return self._batch.query_top_k_many(
+            list(nodes), k=k, max_iterations=budget
         )
 
     def query_stream(self, node, stop, on_iteration):

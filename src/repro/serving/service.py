@@ -8,10 +8,13 @@ The service owns four things:
   concurrent ``submit()`` traffic and drains it as engine batches,
 * the shared :class:`~repro.serving.cache.PopularityCache` (hit-counter
   eviction, invalidated whenever the engine's cache token changes),
-* the request planner that decomposes :class:`~repro.serving.QuerySpec`s
-  into per-node engine tasks — multi-node specs split into single-node
-  sub-queries and recombine via the Linearity Theorem
-  (:func:`repro.core.linearity.combine_results`).
+* the family router: every spec resolves through the query-family
+  registry (:mod:`repro.serving.families`), and the family descriptor
+  owns planning (multi-node PPV specs split into single-node
+  sub-queries and recombine via the Linearity Theorem), group
+  compatibility, execution, and cacheability.  Coalescing only ever
+  groups same-family specs, and every cache key carries the family
+  name.
 
 Determinism contract
 --------------------
@@ -35,13 +38,17 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.core.batch import batch_safe
 from repro.core.index import PPVIndex
-from repro.core.linearity import combine_results
-from repro.core.query import QueryResult
 from repro.core.topk import _certificate_holds, top_k_result
 from repro.serving.cache import DEFAULT_CACHE_SIZE, PopularityCache
 from repro.serving.engines import Engine, detect_backend, resolve_backend
+from repro.serving.families import (
+    FamilyTask,
+    QueryFamily,
+    UnsupportedFamilyError,
+    resolve_family,
+    supported_families,
+)
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY,
@@ -134,6 +141,10 @@ class ServiceStats:
     state (how much backpressure the service is under right now);
     ``latency`` is a :meth:`LatencyHistogram.snapshot` of submit→resolve
     times over every resolved handle.
+
+    ``families`` breaks submissions and latency out per query family:
+    ``{name: {"submitted": n, "latency": <histogram snapshot>}}`` for
+    every family this service has been asked for.
     """
 
     submitted: int
@@ -145,6 +156,7 @@ class ServiceStats:
     queue_depth: int = 0
     in_flight: int = 0
     latency: dict = field(default_factory=dict)
+    families: dict = field(default_factory=dict)
 
 
 class _CancellableStop:
@@ -187,18 +199,6 @@ class _StreamJob:
         self.handle = handle
         self.out = out
         self.cancel = cancel
-
-
-class _Task:
-    """One single-node engine task planned from a spec."""
-
-    __slots__ = ("node", "kind", "stop", "result")
-
-    def __init__(self, node: int, kind: str, stop) -> None:
-        self.node = node
-        self.kind = kind  # "stop" | "topk"
-        self.stop = stop  # resolved StoppingCondition (kind == "stop")
-        self.result = None
 
 
 class PPVService:
@@ -248,6 +248,11 @@ class PPVService:
         )
         self.latency = LatencyHistogram()
         self._submitted = 0
+        # Per-family submission counts and latency histograms, keyed by
+        # family name; grown lazily under the lock as families arrive.
+        self._family_lock = threading.Lock()
+        self._family_submitted: dict[str, int] = {}
+        self._family_latency: dict[str, LatencyHistogram] = {}
         self._closed = False
         # Live streaming jobs, so close() can cancel them instead of
         # letting an abandoned iterator run its query to completion on
@@ -350,7 +355,7 @@ class PPVService:
         spec = self._as_spec(spec)
         self._validate(spec)
         handle = QueryHandle(spec)
-        self._submitted += 1
+        self._count_submission(spec)
         self._track_latency(handle)
         self._scheduler.submit(_BatchJob(spec, handle))
         return handle
@@ -373,7 +378,8 @@ class PPVService:
         for spec in resolved:
             self._validate(spec)
         handles = [QueryHandle(spec) for spec in resolved]
-        self._submitted += len(handles)
+        for spec in resolved:
+            self._count_submission(spec)
         for handle in handles:
             self._track_latency(handle)
         self._scheduler.submit_many(
@@ -402,11 +408,15 @@ class PPVService:
                 "streaming is limited to single-node specs; decompose "
                 "multi-node sets client-side via the Linearity Theorem"
             )
-        self._validate(spec)
+        family = self._validate(spec)
+        if not family.streamable:
+            raise ValueError(
+                f"family {spec.family!r} does not stream; use query()"
+            )
         handle = QueryHandle(spec)
         out: "queue.Queue" = queue.Queue()
         cancel = threading.Event()
-        self._submitted += 1
+        self._count_submission(spec)
         self._track_latency(handle)
         job = _StreamJob(spec, handle, out, cancel)
         with self._streams_lock:
@@ -485,15 +495,51 @@ class PPVService:
 
         self.update_index(load_index(path))
 
+    def _count_submission(self, spec: QuerySpec) -> None:
+        self._submitted += 1
+        with self._family_lock:
+            self._family_submitted[spec.family] = (
+                self._family_submitted.get(spec.family, 0) + 1
+            )
+
+    def _family_histogram(self, family: str) -> LatencyHistogram:
+        with self._family_lock:
+            histogram = self._family_latency.get(family)
+            if histogram is None:
+                histogram = self._family_latency[family] = LatencyHistogram()
+        return histogram
+
     def _track_latency(self, handle: QueryHandle) -> None:
-        """Record the handle's submit→resolve latency when it resolves."""
+        """Record the handle's submit→resolve latency when it resolves
+        (totals plus the per-family breakdown)."""
         started = time.monotonic()
-        handle.add_done_callback(
-            lambda _handle: self.latency.record(time.monotonic() - started)
-        )
+        per_family = self._family_histogram(handle.spec.family)
+
+        def record(_handle) -> None:
+            elapsed = time.monotonic() - started
+            self.latency.record(elapsed)
+            per_family.record(elapsed)
+
+        handle.add_done_callback(record)
+
+    def families(self) -> tuple[str, ...]:
+        """Names of the registered families this engine can answer."""
+        return supported_families(self.engine)
 
     def stats(self) -> ServiceStats:
         """A snapshot of the service's serving counters."""
+        with self._family_lock:
+            family_stats = {
+                name: {
+                    "submitted": count,
+                    "latency": (
+                        self._family_latency[name].snapshot()
+                        if name in self._family_latency
+                        else LatencyHistogram().snapshot()
+                    ),
+                }
+                for name, count in self._family_submitted.items()
+            }
         return ServiceStats(
             submitted=self._submitted,
             batches=self._scheduler.batches_served,
@@ -504,6 +550,7 @@ class PPVService:
             queue_depth=self._scheduler.queue_depth,
             in_flight=self._scheduler.in_flight,
             latency=self.latency.snapshot(),
+            families=family_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -514,10 +561,26 @@ class PPVService:
             return spec
         return QuerySpec(spec)
 
-    def _validate(self, spec: QuerySpec) -> None:
+    def _validate(self, spec: QuerySpec) -> QueryFamily:
+        """Resolve the spec's family and run admission checks.
+
+        Raises ``UnsupportedFamilyError`` (a ``ValueError``) when the
+        engine lacks the family's capability, plain ``ValueError`` for
+        unknown families or bad nodes/parameters.
+        """
+        try:
+            family = resolve_family(spec.family)
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+        if not family.supports(self.engine):
+            raise UnsupportedFamilyError(
+                spec.family, getattr(self.engine, "backend", "?")
+            )
         for node in spec.nodes:
             if not 0 <= node < self.engine.num_nodes:
                 raise ValueError(f"query node {node} out of range")
+        family.validate(spec, self.engine)
+        return family
 
     def _refresh_cache_token(self) -> None:
         token = self.engine.cache_token()
@@ -525,37 +588,6 @@ class PPVService:
             if self._cache_token is not None:
                 self.cache.clear()
             self._cache_token = token
-
-    @staticmethod
-    def _plan(spec: QuerySpec) -> list[_Task]:
-        """Decompose a spec into single-node engine tasks."""
-        if spec.top_k is not None and not spec.is_multi:
-            return [_Task(spec.nodes[0], "topk", spec.resolved_stop())]
-        stop = spec.resolved_stop()
-        return [_Task(node, "stop", stop) for node in spec.nodes]
-
-    @staticmethod
-    def _cache_key(spec: QuerySpec, task: _Task) -> tuple | None:
-        """Cache key of one task, or ``None`` when uncacheable."""
-        if task.kind == "topk":
-            return ("topk", task.node, spec.top_k, spec.top_k_budget)
-        try:
-            if not batch_safe(task.stop):
-                return None
-            hash(task.stop)
-        except TypeError:
-            return None
-        return ("stop", task.node, task.stop)
-
-    @staticmethod
-    def _group_key(spec: QuerySpec, task: _Task) -> tuple:
-        if task.kind == "topk":
-            return ("topk", spec.top_k, spec.top_k_budget)
-        try:
-            hash(task.stop)
-            return ("stop", task.stop)
-        except TypeError:
-            return ("stop-instance", id(task.stop))
 
     def _serve_jobs(self, jobs) -> None:
         """Scheduler drain: plan, group, serve, assemble, complete.
@@ -584,52 +616,59 @@ class PPVService:
         batch_jobs = [job for job in jobs if isinstance(job, _BatchJob)]
         stream_jobs = [job for job in jobs if isinstance(job, _StreamJob)]
 
-        plans: list[tuple[_BatchJob, list[_Task]]] = []
-        groups: dict[tuple, list[tuple[QuerySpec, _Task]]] = {}
+        # Group keys are the family's own key prefixed with the family
+        # name, so a coalesced drain only ever batches same-family specs
+        # together; cache keys get the same prefix, so families can
+        # never serve each other's cached results.
+        plans: list[tuple[_BatchJob, QueryFamily, list[FamilyTask]]] = []
+        groups: dict[
+            tuple, tuple[QueryFamily, tuple,
+                         list[tuple[QuerySpec, FamilyTask]]]
+        ] = {}
         for job in batch_jobs:
-            tasks = self._plan(job.spec)
-            plans.append((job, tasks))
+            family = resolve_family(job.spec.family)
+            tasks = family.plan(job.spec)
+            plans.append((job, family, tasks))
             for task in tasks:
-                key = self._cache_key(job.spec, task)
+                key = family.cache_key(job.spec, task)
                 if key is not None:
-                    hit = self.cache.get(key)
+                    hit = self.cache.get((family.name,) + key)
                     if hit is not None:
                         task.result = hit
                         continue
-                groups.setdefault(
-                    self._group_key(job.spec, task), []
-                ).append((job.spec, task))
+                family_key = family.group_key(job.spec, task)
+                full_key = (family.name,) + family_key
+                if full_key not in groups:
+                    groups[full_key] = (family, family_key, [])
+                groups[full_key][2].append((job.spec, task))
 
         group_errors: dict[tuple, BaseException] = {}
-        for key, members in groups.items():
-            nodes = [task.node for _spec, task in members]
+        for full_key, (family, family_key, members) in groups.items():
             try:
-                if key[0] == "topk":
-                    results = self.engine.query_top_k_batch(
-                        nodes, key[1], key[2]
-                    )
-                else:
-                    results = self.engine.query_batch(
-                        nodes, members[0][1].stop
-                    )
+                results = family.run_group(
+                    self.engine, family_key, members
+                )
             except BaseException as error:
-                group_errors[key] = error
+                group_errors[full_key] = error
                 continue
             for (spec, task), result in zip(members, results):
                 task.result = result
-                cache_key = self._cache_key(spec, task)
+                cache_key = family.cache_key(spec, task)
                 if cache_key is not None:
                     try:
-                        self.cache.put(cache_key, result)
+                        self.cache.put((family.name,) + cache_key, result)
                     except TypeError:
                         # A custom backend's result shape copy_served
                         # does not know: serve it, just never cache it.
                         pass
 
-        for job, tasks in plans:
+        for job, family, tasks in plans:
             failed = next(
                 (
-                    group_errors[self._group_key(job.spec, task)]
+                    group_errors[
+                        (family.name,)
+                        + family.group_key(job.spec, task)
+                    ]
                     for task in tasks
                     if task.result is None
                 ),
@@ -639,41 +678,12 @@ class PPVService:
                 job.handle._set_error(failed)
                 continue
             try:
-                job.handle._set_result(self._assemble(job.spec, tasks))
+                job.handle._set_result(family.assemble(job.spec, tasks))
             except BaseException as error:
                 job.handle._set_error(error)
 
         for job in stream_jobs:
             self._run_stream(job)
-
-    def _assemble(self, spec: QuerySpec, tasks: list[_Task]):
-        """Fold task results into the spec's final result object."""
-        if not spec.is_multi:
-            return tasks[0].result
-        raw = [task.result for task in tasks]
-        on_disk = isinstance(raw[0], DiskQueryResult)
-        inners: list[QueryResult] = [
-            r.result if on_disk else r for r in raw
-        ]
-        combined = combine_results(spec.nodes, spec.weight_array(), inners)
-        if spec.top_k is not None:
-            topk = top_k_result(combined, spec.top_k)
-            if on_disk:
-                return DiskTopKResult(
-                    topk=topk,
-                    cluster_faults=sum(r.cluster_faults for r in raw),
-                    hub_reads=sum(r.hub_reads for r in raw),
-                    truncated=any(r.truncated for r in raw),
-                )
-            return topk
-        if on_disk:
-            return DiskQueryResult(
-                result=combined,
-                cluster_faults=sum(r.cluster_faults for r in raw),
-                hub_reads=sum(r.hub_reads for r in raw),
-                truncated=any(r.truncated for r in raw),
-            )
-        return combined
 
     def _run_stream(self, job: _StreamJob) -> None:
         spec = job.spec

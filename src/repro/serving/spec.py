@@ -1,11 +1,14 @@
 """The serving request model: specs, handles, and streaming snapshots.
 
 A :class:`QuerySpec` is the backend-agnostic description of one request:
-which node(s) to personalise on (multi-node sets combine via the
-Linearity Theorem, see :mod:`repro.core.linearity`), how to stop (a
-stopping condition or a certified top-k target), and the teleport
-weights.  Specs are frozen and hashable so they can key caches and group
-compatible requests into one engine batch.
+which query *family* answers it (``ppv``, ``top_k``, ``hitting``,
+``reachability``, or anything registered through
+:mod:`repro.serving.families`), which node(s) it is about (multi-node
+PPV sets combine via the Linearity Theorem, see
+:mod:`repro.core.linearity`), how to stop (a stopping condition or a
+certified top-k target), and family-specific parameters.  Specs are
+frozen and hashable so they can key caches and group compatible
+requests into one engine batch.
 
 A :class:`QueryHandle` is the future returned by
 :meth:`~repro.serving.PPVService.submit`: the scheduler completes it
@@ -35,6 +38,10 @@ DEFAULT_ETA = 2
 DEFAULT_TOPK_BUDGET = 32
 """Default certificate iteration budget for ``top_k`` specs."""
 
+_BUILTIN_PPV_FAMILIES = ("ppv", "top_k")
+"""The two PPV-shaped families: the only ones that take ``stop`` /
+``top_k``, and the only ones with no free-form ``params``."""
+
 
 @dataclass(frozen=True)
 class QuerySpec:
@@ -58,6 +65,19 @@ class QuerySpec:
         provably exact or ``top_k_budget`` iterations are spent.
     top_k_budget:
         Certificate iteration budget (only with ``top_k``).
+    family:
+        Query-family name.  Defaults to ``"top_k"`` when ``top_k`` is
+        given, else ``"ppv"`` — so every pre-family spelling still
+        means what it meant.  Naming ``"top_k"`` explicitly requires
+        ``top_k``; naming ``"ppv"`` forbids it.  Non-PPV families
+        (``hitting``, ``reachability``, registered extensions) take
+        neither ``stop`` nor ``top_k``: their knobs go in ``params``.
+    params:
+        Family-specific parameters as a mapping with hashable values
+        (e.g. ``{"target": 7}`` for ``hitting``).  Stored as a sorted
+        ``(name, value)`` tuple so specs stay hashable.  The spec does
+        not validate parameter *names* — the family does, when the
+        service admits the spec.
     """
 
     nodes: tuple[int, ...]
@@ -65,6 +85,8 @@ class QuerySpec:
     stop: StoppingCondition | None = None
     top_k: int | None = None
     top_k_budget: int = DEFAULT_TOPK_BUDGET
+    family: str = "ppv"
+    params: tuple[tuple[str, object], ...] = ()
 
     def __init__(
         self,
@@ -73,6 +95,8 @@ class QuerySpec:
         stop: StoppingCondition | None = None,
         top_k: int | None = None,
         top_k_budget: int = DEFAULT_TOPK_BUDGET,
+        family: str | None = None,
+        params: dict | Sequence[tuple[str, object]] | None = None,
     ) -> None:
         if isinstance(nodes, (int, np.integer)):
             node_tuple: tuple[int, ...] = (int(nodes),)
@@ -80,6 +104,21 @@ class QuerySpec:
             node_tuple = tuple(int(n) for n in nodes)
         if not node_tuple:
             raise ValueError("a QuerySpec needs at least one node")
+        resolved_family = family or (
+            "top_k" if top_k is not None else "ppv"
+        )
+        if resolved_family == "top_k" and top_k is None:
+            raise ValueError('family "top_k" needs a top_k value')
+        if resolved_family != "top_k" and top_k is not None:
+            raise ValueError(
+                f"family {resolved_family!r} does not take top_k"
+            )
+        if resolved_family not in _BUILTIN_PPV_FAMILIES:
+            if stop is not None:
+                raise ValueError(
+                    f"family {resolved_family!r} does not take a stopping "
+                    "condition; pass family parameters via params"
+                )
         if top_k is not None:
             if stop is not None:
                 raise ValueError("pass either stop or top_k, not both")
@@ -87,6 +126,17 @@ class QuerySpec:
                 raise ValueError("top_k must be positive")
             if top_k_budget < 0:
                 raise ValueError("top_k_budget must be non-negative")
+        param_items = params.items() if isinstance(params, dict) else params
+        param_tuple: tuple[tuple[str, object], ...] = ()
+        if param_items:
+            param_tuple = tuple(
+                sorted((str(name), value) for name, value in param_items)
+            )
+        if param_tuple and resolved_family in _BUILTIN_PPV_FAMILIES:
+            raise ValueError(
+                f"family {resolved_family!r} takes no params; use "
+                "stop/top_k/top_k_budget"
+            )
         weight_tuple: tuple[float, ...] | None = None
         if weights is not None:
             weight_tuple = tuple(
@@ -98,6 +148,8 @@ class QuerySpec:
         object.__setattr__(self, "stop", stop)
         object.__setattr__(self, "top_k", top_k)
         object.__setattr__(self, "top_k_budget", int(top_k_budget))
+        object.__setattr__(self, "family", resolved_family)
+        object.__setattr__(self, "params", param_tuple)
 
     # ------------------------------------------------------------------ #
 
@@ -105,6 +157,17 @@ class QuerySpec:
     def is_multi(self) -> bool:
         """Whether this is a multi-node (Linearity Theorem) query."""
         return len(self.nodes) > 1
+
+    def params_dict(self) -> dict[str, object]:
+        """The family parameters as a plain dict."""
+        return dict(self.params)
+
+    def param(self, name: str, default=None):
+        """One family parameter by name, or ``default``."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
 
     def weight_array(self) -> np.ndarray:
         """Normalised teleport weights, materialising the uniform default."""

@@ -210,9 +210,10 @@ class RouterEngine(DiskEngine):
 
         Returns per-shard serving counters plus the router's own fetch
         distribution, the shards' latency histograms merged through
-        :meth:`LatencyHistogram.merge`, and ``fetch_balance`` — the
+        :meth:`LatencyHistogram.merge`, ``fetch_balance`` — the
         max/mean ratio of per-shard fetch counts (1.0 = perfectly
-        balanced).
+        balanced) — and ``families``, the per-query-family submission
+        counts and merged latency aggregated across the fleet.
         """
         with self._lock:
             replies = self.fleet.request_all({"verb": "stats"})
@@ -229,6 +230,7 @@ class RouterEngine(DiskEngine):
                     "requests_total": reply["server"]["requests_total"],
                     "worker": reply["worker"],
                     "latency": reply["service"]["latency"],
+                    "families": reply["service"].get("families", {}),
                 }
             )
         fetches = [
@@ -236,6 +238,29 @@ class RouterEngine(DiskEngine):
             for hubs, clusters in zip(hub_fetches, cluster_fetches)
         ]
         mean = sum(fetches) / len(fetches)
+        # Per-family aggregation across the fleet: submissions add,
+        # latency histograms merge (same additive contract as the
+        # fleet-wide histogram above).
+        family_names = sorted(
+            {
+                name
+                for entry in per_shard
+                for name in entry["families"]
+            }
+        )
+        families = {}
+        for name in family_names:
+            shards_with = [
+                entry["families"][name]
+                for entry in per_shard
+                if name in entry["families"]
+            ]
+            families[name] = {
+                "submitted": sum(s["submitted"] for s in shards_with),
+                "latency": LatencyHistogram.merge(
+                    [s["latency"] for s in shards_with]
+                ),
+            }
         return {
             "num_shards": self.fleet.num_shards,
             "per_shard": per_shard,
@@ -243,6 +268,7 @@ class RouterEngine(DiskEngine):
                 [entry["latency"] for entry in per_shard]
             ),
             "fetch_balance": (max(fetches) / mean) if mean else 1.0,
+            "families": families,
         }
 
     def close(self) -> None:

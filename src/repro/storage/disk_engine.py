@@ -828,22 +828,6 @@ class DiskFastPPV:
             )
         return self._batch_engine
 
-    def query_many(
-        self,
-        queries: Sequence[int],
-        stop: StoppingCondition | None = None,
-    ) -> list[DiskQueryResult]:
-        """Serve a workload through :class:`BatchDiskFastPPV`.
-
-        .. deprecated::
-            Per-engine workload spellings are superseded by the
-            :class:`~repro.serving.PPVService` façade, which coalesces
-            concurrent submissions, shares the popularity-aware result
-            cache across backends, and streams partial results.  This
-            method remains as a thin shim over the batch engine.
-        """
-        return self.batch_engine.query_many(queries, stop=stop)
-
 
 @dataclass
 class DiskTopKResult:

@@ -110,11 +110,13 @@ class TestEquivalence:
             for query, batch_result in zip(queries, batch_results):
                 assert_equivalent(scalar.query(query, stop=stop), batch_result)
 
-    def test_fastppv_query_many_delegates_to_batch(self, small_social,
-                                                   small_social_index):
+    def test_fastppv_batch_engine_matches_scalar(self, small_social,
+                                                 small_social_index):
         engine = FastPPV(small_social, small_social_index, delta=1e-4)
         stop = StopAfterIterations(2)
-        results = engine.query_many([9, 4, 4, 17], stop=stop)
+        batch = engine.batch_engine
+        assert batch.delta == engine.delta
+        results = batch.query_many([9, 4, 4, 17], stop=stop)
         assert [r.query for r in results] == [9, 4, 4, 17]
         for query, result in zip([9, 4, 4, 17], results):
             assert_equivalent(engine.query(query, stop=stop), result)
@@ -351,24 +353,17 @@ class TestCache:
         assert not batch_safe(CustomStop())
         assert batch_safe(any_of(StopAfterIterations(2),
                                  StopAtL1Error(0.1)))
-        engine = FastPPV(small_social, small_social_index, delta=1e-4)
+        from repro.serving.engines import MemoryEngine
+
+        engine = MemoryEngine(small_social, small_social_index, delta=1e-4)
         # A custom (uninspectable) condition routes per query too.
-        custom_results = engine.query_many([3], stop=CustomStop())
+        custom_results = engine.query_batch([3], stop=CustomStop())
         assert custom_results[0].iterations == 1
-        assert len(engine.batch_engine._cache) == 0
         stop = any_of(StopAfterIterations(2), StopAfterTime(1e9))
-        calls: list[int] = []
-        results = engine.query_many(
-            [3, 8], stop=stop,
-            on_iteration=lambda position, state: calls.append(position),
-        )
-        # Per-query scalar semantics: results match scalar queries and the
-        # positional callback contract still holds.
+        results = engine.query_batch([3, 8], stop=stop)
+        # Per-query scalar semantics: results match scalar queries.
         for query, result in zip([3, 8], results):
-            assert_equivalent(engine.query(query, stop=stop), result)
-        assert set(calls) == {0, 1}
-        # Nothing routed through the batch engine's cache.
-        assert len(engine.batch_engine._cache) == 0
+            assert_equivalent(engine._scalar.query(query, stop=stop), result)
 
     def test_default_chunk_size_is_graph_aware(self, small_social,
                                                small_social_index):
@@ -502,7 +497,7 @@ class TestCallbackContract:
             7, stop=StopAfterIterations(2), on_iteration=scalar_calls.append
         )
         batch_calls: list[QueryState] = []
-        scalar.query_many(
+        scalar.batch_engine.query_many(
             [7],
             stop=StopAfterIterations(2),
             on_iteration=lambda _position, state: batch_calls.append(state),

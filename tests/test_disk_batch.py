@@ -120,15 +120,17 @@ class TestEquality:
             with pytest.raises(ValueError):
                 batch.query_many([10**6])
 
-    def test_disk_fastppv_query_many_delegates(
+    def test_disk_fastppv_batch_engine_matches_scalar(
         self, disk_batch_setup, small_social
     ):
         _, ppv_store, engine = _fresh_engine(
             small_social, disk_batch_setup, "deleg", DiskFastPPV, delta=0.0
         )
         with ppv_store:
-            results = engine.query_many([4, 8], stop=StopAfterIterations(1))
             assert isinstance(engine.batch_engine, BatchDiskFastPPV)
+            results = engine.batch_engine.query_many(
+                [4, 8], stop=StopAfterIterations(1)
+            )
             reference = engine.query(4, stop=StopAfterIterations(1))
         assert [r.result.query for r in results] == [4, 8]
         np.testing.assert_array_equal(results[0].scores, reference.scores)

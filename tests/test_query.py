@@ -203,7 +203,9 @@ class TestValidation:
         with pytest.raises(ValueError, match="different graph"):
             FastPPV(small_social, index)
 
-    def test_query_many_order(self, small_social, small_social_index):
+    def test_batch_engine_order(self, small_social, small_social_index):
         engine = FastPPV(small_social, small_social_index)
-        results = engine.query_many([3, 1, 2], stop=StopAfterIterations(1))
+        results = engine.batch_engine.query_many(
+            [3, 1, 2], stop=StopAfterIterations(1)
+        )
         assert [r.query for r in results] == [3, 1, 2]

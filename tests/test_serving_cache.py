@@ -113,9 +113,9 @@ class TestServiceCacheMemory:
             _result(service, 1)
             _result(service, 2)
             _result(service, 4)  # capacity exceeded -> node 3 evicted
-            assert ("stop", 3, STOP) not in service.cache
+            assert ("ppv", "stop", 3, STOP) not in service.cache
             for node in (1, 2, 4):
-                assert ("stop", node, STOP) in service.cache
+                assert ("ppv", "stop", node, STOP) in service.cache
 
     def test_distinct_stops_cached_separately(self, small_social,
                                               small_social_index):
@@ -223,8 +223,8 @@ class TestInvalidation:
             # The next drain observes a rebuilt lowering token and must
             # not serve results computed against the old one.
             _result(service, 6)
-            assert ("stop", 5, STOP) not in service.cache
-            assert ("stop", 6, STOP) in service.cache
+            assert ("ppv", "stop", 5, STOP) not in service.cache
+            assert ("ppv", "stop", 6, STOP) in service.cache
 
 
 class TestServiceCacheDisk:

@@ -18,7 +18,6 @@ from repro import (
     TopKResult,
     build_index,
     query_top_k,
-    query_top_k_many,
     select_hubs,
     social_graph,
 )
@@ -181,18 +180,20 @@ class TestStopWhenCertified:
 
 
 class TestWiring:
-    def test_module_helper_accepts_both_engines(self):
+    def test_scalar_batch_engine_matches_batch(self):
         graph, index, scalar, batch = _setup("social", 1, 0.0)
-        from_scalar = query_top_k_many(scalar, [3, 9], k=4, max_iterations=30)
-        from_batch = query_top_k_many(batch, [3, 9], k=4, max_iterations=30)
+        from_scalar = scalar.batch_engine.query_top_k_many(
+            [3, 9], k=4, max_iterations=30
+        )
+        from_batch = batch.query_top_k_many([3, 9], k=4, max_iterations=30)
         for a, b in zip(from_scalar, from_batch):
             assert a.certified == b.certified
             assert a.iterations == b.iterations
             np.testing.assert_allclose(a.scores, b.scores, atol=1e-12)
 
-    def test_fastppv_query_many_top_k(self):
+    def test_batch_top_k_matches_scalar_reference(self):
         graph, index, scalar, batch = _setup("social", 1, 0.0)
-        results = scalar.query_many([3, 9, 9], top_k=4)
+        results = batch.query_top_k_many([3, 9, 9], k=4, max_iterations=32)
         assert all(isinstance(r, TopKResult) for r in results)
         assert [r.nodes.size for r in results] == [4, 4, 4]
         reference = query_top_k(scalar, 3, k=4, max_iterations=32)
@@ -200,9 +201,10 @@ class TestWiring:
         assert results[0].certified == reference.certified
 
     def test_top_k_and_stop_are_exclusive(self):
-        graph, index, scalar, batch = _setup("social", 1, 0.0)
+        from repro.serving import QuerySpec
+
         with pytest.raises(ValueError, match="not both"):
-            scalar.query_many([3], stop=StopAfterIterations(2), top_k=4)
+            QuerySpec(3, stop=StopAfterIterations(2), top_k=4)
 
     def test_invalid_k_rejected(self):
         graph, index, scalar, batch = _setup("social", 1, 0.0)
