@@ -1,0 +1,146 @@
+"""Observability overhead: tracing off must be (within noise) free.
+
+The ``repro.obs`` instrumentation follows the fault-injection
+discipline: with ``obs=None`` every hook is one ``is not None`` check,
+and with obs enabled but queries untraced the only additions are two
+histogram records per scheduler drain plus function-backed metrics read
+at snapshot time — nothing per query.  This bench pins that claim
+against the PR-9 serving baseline:
+
+* **baseline** — ``PPVService`` with ``obs=None`` (the pre-obs hot
+  path, byte-identical instructions).
+* **obs on, untraced** — a registry + tracer attached, no trace field
+  on any query.  Hard acceptance: throughput within **2%** of baseline.
+* **obs on, traced** — every query carries a trace context and the full
+  span tree is recorded (reported for scale; no acceptance bound).
+
+Configurations are timed interleaved (best-of-N each) so clock drift
+and cache warmup hit all three alike.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_SCALE, emit, emit_json
+from repro import StopAfterIterations, build_index, select_hubs, social_graph
+from repro.experiments.report import Table
+from repro.obs import Observability
+from repro.serving import PPVService, QuerySpec
+
+DELTA = 1e-4
+ONLINE_EPSILON = 1e-5
+REPETITIONS = 5
+MAX_OFF_OVERHEAD = 1.02  # tracing-off throughput within 2% of baseline
+
+
+@pytest.fixture(scope="module")
+def setup():
+    num_nodes = max(1000, int(4000 * BENCH_SCALE))
+    num_hubs = max(100, int(400 * BENCH_SCALE))
+    graph = social_graph(num_nodes=num_nodes, seed=11)
+    hubs = select_hubs(graph, num_hubs=num_hubs)
+    index = build_index(graph, hubs, epsilon=1e-6)
+    rng = np.random.default_rng(0)
+    queries = [
+        int(q)
+        for q in rng.choice(graph.num_nodes, size=64, replace=False)
+    ]
+    return graph, index, queries
+
+
+def test_tracing_overhead(setup):
+    graph, index, queries = setup
+    stop = StopAfterIterations(2)
+    specs = [QuerySpec(q, stop=stop) for q in queries]
+
+    def open_service(obs):
+        service = PPVService.open(
+            index, graph=graph, delta=DELTA, online_epsilon=ONLINE_EPSILON,
+            cache_size=0, obs=obs,
+        )
+        service.warm()
+        return service
+
+    obs = Observability()
+    with open_service(None) as baseline_service, \
+            open_service(obs) as obs_service:
+
+        def run_baseline():
+            return baseline_service.query_many(specs)
+
+        def run_untraced():
+            return obs_service.query_many(specs)
+
+        def run_traced():
+            span = obs.tracer.start_span("bench.burst")
+            try:
+                return obs_service.query_many(
+                    [spec.with_trace(span.context()) for spec in specs]
+                )
+            finally:
+                span.end()
+
+        # Traced serving must not change a single score.
+        reference = run_baseline()
+        traced = run_traced()
+        for expected, got in zip(reference, traced):
+            np.testing.assert_array_equal(expected.scores, got.scores)
+
+        best = {"baseline": float("inf"), "untraced": float("inf"),
+                "traced": float("inf")}
+        runs = (
+            ("baseline", run_baseline),
+            ("untraced", run_untraced),
+            ("traced", run_traced),
+        )
+        for _ in range(REPETITIONS):
+            for name, run in runs:  # interleaved: noise hits all alike
+                started = time.perf_counter()
+                run()
+                best[name] = min(best[name], time.perf_counter() - started)
+
+    rate = lambda seconds: len(queries) / seconds
+    off_ratio = best["untraced"] / best["baseline"]
+    traced_ratio = best["traced"] / best["baseline"]
+    table = Table(
+        title=f"Observability overhead ({graph.num_nodes} nodes, "
+        f"{index.num_hubs} hubs, eta=2, {len(queries)} queries, "
+        f"best of {REPETITIONS})",
+        headers=["configuration", "q/s", "vs baseline"],
+    )
+    table.add_row("obs=None (baseline)", f"{rate(best['baseline']):.0f}", "1.000")
+    table.add_row(
+        "obs on, untraced", f"{rate(best['untraced']):.0f}", f"{off_ratio:.3f}"
+    )
+    table.add_row(
+        "obs on, traced", f"{rate(best['traced']):.0f}", f"{traced_ratio:.3f}"
+    )
+    emit("observability_overhead", table)
+    emit_json(
+        "observability",
+        {
+            "overhead": {
+                "num_nodes": graph.num_nodes,
+                "num_hubs": int(index.num_hubs),
+                "num_queries": len(queries),
+                "repetitions": REPETITIONS,
+                "baseline_qps": rate(best["baseline"]),
+                "obs_untraced_qps": rate(best["untraced"]),
+                "obs_traced_qps": rate(best["traced"]),
+                "untraced_overhead_ratio": off_ratio,
+                "traced_overhead_ratio": traced_ratio,
+                "max_untraced_overhead": MAX_OFF_OVERHEAD,
+            }
+        },
+    )
+
+    # Acceptance: with tracing off, the instrumented service serves at
+    # baseline throughput (<= 2% overhead).
+    assert best["untraced"] <= MAX_OFF_OVERHEAD * best["baseline"], (
+        f"obs-on untraced took {off_ratio:.3f}x the obs=None baseline "
+        f"(bound {MAX_OFF_OVERHEAD}x)"
+    )

@@ -56,7 +56,20 @@ from repro.graph import (
 )
 from repro.serving import PPVService, QueryHandle, QuerySnapshot, QuerySpec
 
-__version__ = "1.1.0"
+
+def _package_version() -> str:
+    """The version, read once from installed package metadata; falls
+    back to the in-tree constant when running straight from a source
+    checkout (PYTHONPATH=src, nothing installed)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-fastppv")
+    except Exception:
+        return "1.1.0"
+
+
+__version__ = _package_version()
 
 __all__ = [
     "__version__",

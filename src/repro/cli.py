@@ -14,6 +14,9 @@ The subcommands cover the offline/online lifecycle end to end::
     repro shard-index graph.txt graph.fppv --shards 3 --out parts/
     repro serve --shard-map parts/ --tcp 127.0.0.1:7474
     repro serve graph.txt graph.fppv --shards 3 --tcp 127.0.0.1:7474
+    repro stats 127.0.0.1:7474 --watch
+    repro stats 127.0.0.1:7474 --prometheus
+    repro trace 127.0.0.1:7474 0123456789abcdef
     repro autotune graph.txt
 
 All online subcommands run through the :class:`~repro.serving.PPVService`
@@ -38,9 +41,11 @@ the binary ``.fppv`` format of :mod:`repro.storage.ppv_store`.
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import sys
 import tempfile
+import time
 from typing import Sequence
 
 from repro.core.autotune import autotune_hub_count
@@ -626,8 +631,36 @@ def _add_serve(subparsers) -> None:
         "--workdir", default=None,
         help="disk backend: directory for cluster files (default: temp)",
     )
+    parser.add_argument(
+        "--slow-query", type=float, default=None, metavar="SECONDS",
+        help="record queries slower than this to the slow-query log "
+        "(served back through the stats verb, span trees included)",
+    )
+    parser.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append every finished trace span to this file as JSONL",
+    )
+    parser.add_argument(
+        "--no-obs", action="store_true",
+        help="serve without the metrics registry and tracer (every "
+        "observability hook collapses to one 'is None' check)",
+    )
     parser.add_argument("--undirected", action="store_true")
     parser.set_defaults(func=_cmd_serve)
+
+
+def _make_obs(args: argparse.Namespace):
+    """The serve subcommand's Observability bundle (None with
+    --no-obs).  Called inside service factories so pre-forked workers
+    each build their own."""
+    if args.no_obs:
+        return None
+    from repro.obs import Observability
+
+    return Observability(
+        slow_query_seconds=args.slow_query,
+        trace_log_path=args.trace_log,
+    )
 
 
 def _parse_tcp_address(value: str) -> tuple[str, int]:
@@ -710,6 +743,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     graph_store=graph_store,
                     delta=args.delta,
                     fault_budget=args.fault_budget,
+                    obs=_make_obs(args),
                     **service_kwargs,
                 )
         else:
@@ -727,6 +761,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     index,
                     graph=graph,
                     delta=args.delta,
+                    obs=_make_obs(args),
                     **service_kwargs,
                 )
 
@@ -831,6 +866,7 @@ def _serve_sharded(args: argparse.Namespace, tcp_address) -> int:
             "max_delay": args.max_delay,
             "delta": args.delta,
             "fault_budget": args.fault_budget,
+            "obs": False if args.no_obs else _make_obs(args),
         }
         if args.cache_size is not None:
             router_kwargs["cache_size"] = args.cache_size
@@ -856,6 +892,198 @@ def _serve_sharded(args: argparse.Namespace, tcp_address) -> int:
             )
 
         return router.serve_forever(announce)
+
+
+def _add_stats(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stats",
+        help="fetch a running server's stats (counters, metrics, slow "
+        "queries) over TCP",
+    )
+    parser.add_argument("address", metavar="HOST:PORT")
+    parser.add_argument(
+        "--watch", nargs="?", const=2.0, type=float, default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS (default 2) until interrupted",
+    )
+    parser.add_argument(
+        "--prometheus", action="store_true",
+        help="render the metrics registry snapshot in Prometheus text "
+        "exposition format (needs an observability-enabled server)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="dump the raw stats payload as JSON",
+    )
+    parser.set_defaults(func=_cmd_stats)
+
+
+def _print_metric_samples(metrics: dict) -> None:
+    for name in sorted(metrics):
+        entry = metrics[name]
+        for sample in entry.get("samples", ()):
+            labels = ""
+            values = sample.get("labels") or ()
+            if values:
+                labels = "{%s}" % ",".join(
+                    f"{key}={value!r}"
+                    for key, value in zip(entry.get("labelnames", ()), values)
+                )
+            if "histogram" in sample:
+                hist = sample["histogram"]
+                print(
+                    f"  {name}{labels}  count={hist.get('count', 0)} "
+                    f"total={hist.get('total_seconds', 0.0):.4f}s"
+                )
+            else:
+                print(f"  {name}{labels}  {sample.get('value')}")
+
+
+def _print_stats(payload: dict) -> None:
+    print(
+        f"worker {payload.get('worker')}  pid {payload.get('pid')}  "
+        f"version {payload.get('version')}  "
+        f"uptime {payload.get('uptime_seconds', 0.0):.1f}s"
+    )
+    server = payload.get("server") or {}
+    flat = {
+        key: value
+        for key, value in sorted(server.items())
+        if not isinstance(value, (dict, list))
+    }
+    if flat:
+        print("server: " + "  ".join(f"{k}={v}" for k, v in flat.items()))
+    metrics = payload.get("metrics")
+    if metrics:
+        print("metrics:")
+        _print_metric_samples(metrics)
+    slow = payload.get("slow_queries")
+    if slow:
+        print(f"slow queries ({len(slow)}):")
+        for entry in slow:
+            print(
+                f"  {entry.get('seconds', 0.0):.3f}s  "
+                f"family={entry.get('family')}  nodes={entry.get('nodes')}  "
+                f"trace={entry.get('trace', '-')}"
+            )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.server.client import PPVClient
+
+    try:
+        host, port = _parse_tcp_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        with PPVClient(host, port) as client:
+            while True:
+                payload = client.stats()
+                try:
+                    if args.as_json:
+                        print(json.dumps(payload, indent=2, sort_keys=True))
+                    elif args.prometheus:
+                        metrics = payload.get("metrics")
+                        if metrics is None:
+                            print(
+                                "error: the server exports no metrics "
+                                "(started without observability)",
+                                file=sys.stderr,
+                            )
+                            return 1
+                        from repro.obs import render_prometheus
+
+                        print(render_prometheus(metrics), end="")
+                    else:
+                        _print_stats(payload)
+                    if args.watch is None:
+                        return 0
+                    sys.stdout.flush()
+                    time.sleep(args.watch)
+                    print("---")
+                except BrokenPipeError:
+                    return 0  # stdout consumer went away (e.g. | head)
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {host}:{port}: {error}", file=sys.stderr)
+        return 1
+
+
+def _add_trace(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="fetch recent trace spans from a running server and render "
+        "the span tree",
+    )
+    parser.add_argument("address", metavar="HOST:PORT")
+    parser.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="show one trace (default: every span in the ring)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="most recent spans to fetch per process",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="dump the raw span records as JSON",
+    )
+    parser.set_defaults(func=_cmd_trace)
+
+
+def _print_span_tree(spans: list) -> None:
+    from repro.obs.trace import span_tree
+
+    roots, children = span_tree(spans)
+
+    def walk(record: dict, depth: int) -> None:
+        duration = record.get("duration")
+        took = f"{duration * 1000:.2f} ms" if duration is not None else "?"
+        attrs = record.get("attrs") or {}
+        extra = "".join(f"  {k}={v}" for k, v in sorted(attrs.items()))
+        print(f"{'  ' * depth}{record.get('name')}  {took}{extra}")
+        for event in record.get("events", ()):
+            print(f"{'  ' * (depth + 1)}! {event}")
+        for child in children.get(record.get("span"), ()):
+            walk(child, depth + 1)
+
+    last_trace = None
+    for root in roots:
+        if root.get("trace") != last_trace:
+            last_trace = root.get("trace")
+            print(f"trace {last_trace}:")
+        walk(root, 1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.server.client import PPVClient
+
+    try:
+        host, port = _parse_tcp_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        with PPVClient(host, port) as client:
+            payload = client.trace(args.trace_id, limit=args.limit)
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {host}:{port}: {error}", file=sys.stderr)
+        return 1
+    spans = payload.get("spans", [])
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not spans:
+        print("no spans recorded")
+        if "error" in payload:
+            print(f"warning: {payload['error']}", file=sys.stderr)
+        return 0
+    _print_span_tree(spans)
+    if "error" in payload:
+        print(f"warning: {payload['error']}", file=sys.stderr)
+    return 0
 
 
 def _add_autotune(subparsers) -> None:
@@ -924,9 +1152,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FastPPV: incremental, accuracy-aware Personalized PageRank",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_generate(subparsers)
@@ -936,6 +1169,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_disk_query(subparsers)
     _add_shard_index(subparsers)
     _add_serve(subparsers)
+    _add_stats(subparsers)
+    _add_trace(subparsers)
     _add_autotune(subparsers)
     _add_validate(subparsers)
     return parser

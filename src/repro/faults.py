@@ -219,6 +219,19 @@ class FaultPlan:
                     rule.triggered += 1
                     self.fired.append(FiredFault(site, rule, hit, context))
                     triggered.append((rule, hit))
+        if triggered:
+            # Triggered faults show up as events on the active trace
+            # span (if any), so an injected failure is visible in the
+            # span tree of the query it hit.  Lazy import: repro.faults
+            # must stay importable without repro.obs on the path.
+            try:
+                from repro.obs.trace import current_span
+            except ImportError:  # pragma: no cover
+                current_span = None
+            span = current_span() if current_span is not None else None
+            if span is not None:
+                for rule, rule_hit in triggered:
+                    span.event("fault", site=site, hit=rule_hit)
         action: FaultAction | None = None
         error: BaseException | None = None
         for rule, _ in triggered:

@@ -23,6 +23,7 @@ import json
 import socket
 from typing import Iterator, Sequence
 
+from repro.obs.trace import default_tracer
 from repro.server import protocol
 
 
@@ -101,6 +102,10 @@ class PPVClient:
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
         self._closed = False
+        # Trace ids of the most recent trace=True query / query_many,
+        # for fetching the assembled span tree via trace().
+        self.last_trace_id: str | None = None
+        self.last_trace_ids: list[str] = []
 
     # ------------------------------------------------------------------ #
     # Transport
@@ -222,6 +227,7 @@ class PPVClient:
         top: int | None = None,
         family: str | None = None,
         params: dict | None = None,
+        trace: bool = False,
     ) -> dict:
         """Serve one query; returns the result payload (see protocol).
 
@@ -229,12 +235,24 @@ class PPVClient:
         ``top_k`` is given, else ``ppv``); ``params`` carries the
         family's own fields, e.g. ``family="hitting",
         params={"target": 7}``.
+
+        ``trace=True`` opens a ``client.request`` root span and ships
+        its context in the request's ``trace`` field; the server (when
+        observability-enabled) continues the trace across every hop.
+        The trace id lands in :attr:`last_trace_id` — fetch the
+        assembled tree with :meth:`trace`.
         """
         body = self._query_body(
             "query", nodes, weights, eta, target_error, time_limit,
             top_k, budget, top, family=family, params=params,
         )
-        return self.request(body)
+        if not trace:
+            return self.request(body)
+        span = self._start_trace(body)
+        try:
+            return self.request(body)
+        finally:
+            span.end()
 
     def query_many(
         self,
@@ -249,6 +267,7 @@ class PPVClient:
         top: int | None = None,
         family: str | None = None,
         params: dict | None = None,
+        trace: bool = False,
     ) -> list[dict]:
         """Serve many queries over this one connection, pipelined.
 
@@ -261,6 +280,10 @@ class PPVClient:
         A structured error reply raises :class:`ServerError`
         immediately; close the connection afterwards — replies to
         still-outstanding requests are left unread.
+
+        ``trace=True`` gives every query in the burst its own trace
+        (ids collected in :attr:`last_trace_ids`, input order); each
+        root span ends when its reply arrives.
         """
         if window < 1:
             raise ValueError("window must be at least 1")
@@ -271,6 +294,10 @@ class PPVClient:
             )
             for nodes in nodes_list
         ]
+        spans = None
+        if trace:
+            spans = [self._start_trace(body) for body in bodies]
+            self.last_trace_ids = [span.trace_id for span in spans]
         results: list = [None] * len(bodies)
         pending: dict = {}
         sent = 0
@@ -290,6 +317,8 @@ class PPVClient:
                 ) from None
             results[position] = self._unwrap(message)
             done += 1
+            if spans is not None:
+                spans[position].end()
         return results
 
     def stream(
@@ -341,6 +370,35 @@ class PPVClient:
     def stats(self) -> dict:
         """Service + server counters of the worker serving us."""
         return self.request({"verb": "stats"})
+
+    def trace(
+        self,
+        trace_id: str | None = None,
+        *,
+        limit: int | None = None,
+    ) -> dict:
+        """Recent trace spans from the serving worker (a shard router
+        fans the verb out and merges every shard's spans in).
+
+        ``trace_id`` filters to one trace — typically
+        :attr:`last_trace_id` after a ``trace=True`` query.
+        """
+        body: dict = {"verb": "trace"}
+        if trace_id is not None:
+            body["trace_id"] = str(trace_id)
+        if limit is not None:
+            body["limit"] = int(limit)
+        return self.request(body)
+
+    def _start_trace(self, body: dict):
+        """Open a root span for ``body`` (mutated in place) and record
+        its id in :attr:`last_trace_id`."""
+        span = default_tracer().start_span(
+            "client.request", verb=body.get("verb", "query")
+        )
+        body["trace"] = protocol.trace_field(span.context())
+        self.last_trace_id = span.trace_id
+        return span
 
     def ping(self) -> bool:
         """Round-trip liveness probe."""

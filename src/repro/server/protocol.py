@@ -40,7 +40,17 @@ Requests
   - ``stream`` — like ``query`` (single node, streamable families —
     ``ppv``/``top_k`` — only) but the response is a sequence of
     per-iteration frames followed by a ``done`` record.
-  - ``stats`` — service + server counters.
+  - ``stats`` — service + server counters, process identity
+    (``uptime_seconds``/``version``/``pid``) and — on an
+    observability-enabled server — the full metrics-registry snapshot
+    (``metrics``, aggregated across shards by a router) and the
+    slow-query log (``slow_queries``).
+  - ``trace`` — recent trace spans from the span ring (see the
+    ``trace`` request field below).  Optional fields: ``trace_id``
+    filters to one trace, ``limit`` caps the span count.  A shard
+    router fans the verb out and returns its own spans plus every
+    shard's.  Payload: ``{"schema": TRACE_SCHEMA_VERSION, "spans":
+    [...], "count": n}``.
   - ``ping`` — liveness/round-trip probe.
   - ``swap_index`` — hot-swap the served index from ``path``: in-flight
     queries drain, held admissions resume on the new index, nothing
@@ -54,6 +64,16 @@ Requests
     adjacency arrays.
   - ``shard_info`` — shard-internal: the shard's partition coordinates
     (shard id, owned hubs/clusters, index parameters).
+
+* ``trace`` — optional distributed-tracing context on ``query`` /
+  ``stream`` (and the shard-internal fetch verbs):
+  ``{"id": "<trace id>", "span": "<parent span id>", "schema": 1}``
+  (schema = :data:`TRACE_SCHEMA_VERSION`; ``span`` optional).  An
+  observability-enabled server continues the trace — child spans for
+  admission, coalescing, kernels and shard fetches all carry the same
+  trace id — and the finished spans come back via the ``trace`` verb.
+  Servers without observability ignore the field; tracing never
+  changes what is served.
 
 Responses
 ---------
@@ -80,10 +100,16 @@ from __future__ import annotations
 
 import json
 
+from repro.obs.trace import SpanContext
 from repro.serving.families import available_families, resolve_family
 from repro.serving.spec import QuerySnapshot, QuerySpec
 
 PROTOCOL_VERSION = 1
+
+TRACE_SCHEMA_VERSION = 1
+"""Version of the span schema carried by the ``trace`` request field
+and returned by the ``trace`` verb (span records are the dicts
+:meth:`repro.obs.trace.Span.to_dict` builds)."""
 
 DEFAULT_MAX_LINE_BYTES = 1 << 20
 """Default per-line payload bound (1 MiB) before ``oversized``."""
@@ -114,6 +140,7 @@ VERBS = (
     "query",
     "stream",
     "stats",
+    "trace",
     "ping",
     "swap_index",
     "shutdown",
@@ -251,11 +278,54 @@ def spec_from_request(request: dict) -> QuerySpec:
     """
     family = family_from_request(request)
     try:
-        return family.decode_request(request)
+        spec = family.decode_request(request)
     except ProtocolError:
         raise
     except (TypeError, ValueError) as error:
         raise ProtocolError(E_INVALID, str(error)) from None
+    trace = trace_from_request(request)
+    if trace is not None:
+        spec = spec.with_trace(trace)
+    return spec
+
+
+def trace_field(context) -> dict:
+    """The wire form of a trace context (``SpanContext`` or ``Span``)
+    for a request's ``trace`` field."""
+    field = {"id": context.trace_id, "schema": TRACE_SCHEMA_VERSION}
+    if context.span_id is not None:
+        field["span"] = context.span_id
+    return field
+
+
+def trace_from_request(request: dict) -> "SpanContext | None":
+    """The request's trace context, or ``None`` when untraced.
+
+    Raises
+    ------
+    ProtocolError
+        ``invalid`` when the ``trace`` field is present but malformed
+        or speaks a different span schema.
+    """
+    raw = request.get("trace")
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ProtocolError(E_INVALID, '"trace" must be a JSON object')
+    schema = raw.get("schema", TRACE_SCHEMA_VERSION)
+    if schema != TRACE_SCHEMA_VERSION:
+        raise ProtocolError(
+            E_INVALID,
+            f"this server speaks trace schema {TRACE_SCHEMA_VERSION}, "
+            f"not {schema!r}",
+        )
+    trace_id = raw.get("id")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise ProtocolError(E_INVALID, 'trace needs a string "id"')
+    span_id = raw.get("span")
+    if span_id is not None and not isinstance(span_id, str):
+        raise ProtocolError(E_INVALID, 'trace "span" must be a string')
+    return SpanContext(trace_id, span_id)
 
 
 def top_from_request(request: dict, default: int) -> int:

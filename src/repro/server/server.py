@@ -62,6 +62,13 @@ DEFAULT_MAX_INFLIGHT = 256
 DEFAULT_MAX_INFLIGHT_PER_CONN = 32
 
 
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ pulls in the whole serving stack.
+    from repro import __version__
+
+    return __version__
+
+
 @dataclass
 class ServerConfig:
     """Tunables of one :class:`PPVServer` (transport-level only;
@@ -161,6 +168,14 @@ class PPVServer:
         self.worker_index = worker_index
         self.fault_plan = fault_plan
         self.counters = ServerCounters()
+        # Observability rides on the service: a PPVService built with
+        # obs=... makes this front-end trace-aware and its counters
+        # visible in the registry snapshot; a bare service keeps every
+        # hook at one None check.
+        self.obs = getattr(service, "obs", None)
+        self._started_monotonic = time.monotonic()
+        if self.obs is not None:
+            self._register_metrics()
         self.address: tuple | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -170,6 +185,40 @@ class PPVServer:
         self._swap_lock: asyncio.Lock | None = None
         self._connections: set[_Connection] = set()
         self._started = threading.Event()
+
+    def _register_metrics(self) -> None:
+        """Expose the transport counters as function-backed metrics."""
+        registry = self.obs.registry
+        counters = self.counters
+        registry.counter_func(
+            "repro_server_requests_total",
+            "Request lines parsed by the TCP front-end.",
+            lambda: counters.requests_total,
+        )
+        registry.counter_func(
+            "repro_server_responses_total",
+            "Responses written by the TCP front-end.",
+            lambda: counters.responses_total,
+        )
+        registry.counter_func(
+            "repro_server_errors_total",
+            "Structured errors returned, by code.",
+            lambda: {
+                (code,): count
+                for code, count in counters.errors_by_code.items()
+            },
+            labelnames=("code",),
+        )
+        registry.gauge_func(
+            "repro_server_connections_open",
+            "Client connections currently open.",
+            lambda: counters.connections_open,
+        )
+        registry.gauge_func(
+            "repro_server_uptime_seconds",
+            "Seconds since this server object was created.",
+            lambda: time.monotonic() - self._started_monotonic,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -413,8 +462,28 @@ class PPVServer:
                 )
                 self.counters.responses_total += 1
                 return
+            if verb == "trace":
+                # Off the event loop: a shard router's trace fan-out
+                # queries every shard over the network.
+                payload = await asyncio.to_thread(
+                    self._trace_payload, request
+                )
+                await self._send(
+                    connection, protocol.ok_response(request_id, payload)
+                )
+                self.counters.responses_total += 1
+                return
             if verb in ("fetch_hubs", "fetch_cluster", "shard_info"):
-                await self._serve_fetch(connection, request_id, verb, request)
+                # The shard-side half of a traced fetch: record how long
+                # this worker spent serving the remote store's request.
+                span = self._request_span(request, verb)
+                try:
+                    await self._serve_fetch(
+                        connection, request_id, verb, request
+                    )
+                finally:
+                    if span is not None:
+                        span.end()
                 return
             if verb == "shutdown":
                 await self._send(connection, protocol.ok_response(request_id))
@@ -431,14 +500,30 @@ class PPVServer:
                 raise ProtocolError(
                     E_UNAVAILABLE, "server is shutting down"
                 )
-            await self._gate.wait()
-            await self._slots.acquire()
-            await connection.slots.acquire()
+            # A traced request gets a server-hop span covering admission
+            # wait through response; downstream spans parent under it so
+            # the tree reads client → server → service → kernel.
+            span = None
+            if spec.trace is not None and self.obs is not None:
+                span = self.obs.tracer.start_span(
+                    f"server.{verb}", spec.trace, worker=self.worker_index
+                )
+                spec = spec.with_trace(span.context())
+            try:
+                await self._gate.wait()
+                await self._slots.acquire()
+                await connection.slots.acquire()
+            except BaseException:
+                if span is not None:
+                    span.end(error="admission")
+                raise
             runner = (
                 self._serve_stream if verb == "stream" else self._serve_query
             )
             task = asyncio.ensure_future(
-                self._admitted(runner, connection, request_id, spec, top)
+                self._admitted(
+                    runner, connection, request_id, spec, top, span
+                )
             )
             connection.tasks.add(task)
             task.add_done_callback(connection.tasks.discard)
@@ -458,7 +543,8 @@ class PPVServer:
             )
 
     async def _admitted(
-        self, runner, connection: _Connection, request_id, spec, top
+        self, runner, connection: _Connection, request_id, spec, top,
+        span=None,
     ) -> None:
         """Run one admitted request, releasing its slots afterwards."""
         try:
@@ -485,8 +571,51 @@ class PPVServer:
             except (ConnectionError, OSError):
                 pass
         finally:
+            if span is not None:
+                span.end()
             connection.slots.release()
             self._slots.release()
+
+    def _request_span(self, request: dict, verb: str):
+        """A server-hop span for a traced request, or ``None`` when the
+        request (or this server) is untraced."""
+        if self.obs is None:
+            return None
+        context = protocol.trace_from_request(request)
+        if context is None:
+            return None
+        return self.obs.tracer.start_span(
+            f"server.{verb}", context, worker=self.worker_index
+        )
+
+    def _trace_payload(self, request: dict) -> dict:
+        """The ``trace`` verb: recent spans, locally recorded plus —
+        behind a router engine — fanned out across every shard."""
+        trace_id = request.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ProtocolError(E_INVALID, '"trace_id" must be a string')
+        limit = request.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool)
+            or limit < 1
+        ):
+            raise ProtocolError(
+                E_INVALID, '"limit" must be a positive integer'
+            )
+        spans: list = []
+        if self.obs is not None:
+            spans.extend(self.obs.tracer.spans(trace_id=trace_id, limit=limit))
+        fan_out = getattr(self.service.engine, "trace_spans", None)
+        payload = {"schema": protocol.TRACE_SCHEMA_VERSION}
+        if fan_out is not None:
+            try:
+                spans.extend(fan_out(trace_id=trace_id, limit=limit))
+            except ShardUnavailableError as error:
+                payload["error"] = str(error)
+        spans.sort(key=lambda record: record.get("start") or 0.0)
+        payload["spans"] = spans
+        payload["count"] = len(spans)
+        return payload
 
     # ------------------------------------------------------------------ #
     # Verb implementations
@@ -767,7 +896,16 @@ class PPVServer:
             # Capability advertisement: the query families this
             # worker's engine can answer.
             "families": list(supported_families(self.service.engine)),
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "version": _package_version(),
+            "pid": os.getpid(),
         }
+        if self.obs is not None:
+            payload["metrics"] = self.obs.registry.snapshot()
+            if self.obs.slow_log is not None:
+                payload["slow_queries"] = self.obs.slow_log.entries(
+                    tracer=self.obs.tracer
+                )
         # A shard router aggregates its shards' stats (merged latency,
         # per-shard balance) into one extra section.
         shard_stats = getattr(self.service.engine, "shard_stats", None)

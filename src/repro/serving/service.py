@@ -31,15 +31,25 @@ engine's usual ~1e-14 reassociation round-off.
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 import time
-from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.core.index import PPVIndex
 from repro.core.topk import _certificate_holds, top_k_result
+from repro.obs import cost_counters
+
+# The service's latency histogram grew into the general-purpose
+# repro.obs.Histogram (identical record/snapshot/merge contract); these
+# back-compat aliases keep every existing import and wire shape working.
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram as LatencyHistogram,
+)
+from repro.obs.trace import activate as _activate_span
 from repro.serving.cache import DEFAULT_CACHE_SIZE, PopularityCache
 from repro.serving.engines import Engine, detect_backend, resolve_backend
 from repro.serving.families import (
@@ -60,79 +70,6 @@ from repro.storage.disk_engine import DiskQueryResult, DiskTopKResult
 _STREAM_DONE = object()
 
 
-DEFAULT_LATENCY_BOUNDS = (
-    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0,
-)
-"""Upper edges (seconds) of the coarse submit→resolve latency buckets;
-one overflow bucket catches everything beyond the last edge."""
-
-
-class LatencyHistogram:
-    """Thread-safe log-bucketed latency counts (coarse, JSON-friendly).
-
-    Each :meth:`record` lands the observation in the first bucket whose
-    upper edge is >= the value; :meth:`snapshot` returns a plain dict
-    (``bounds``/``counts``/``count``/``total_seconds``) that serialises
-    over the stats verb unchanged.
-    """
-
-    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS):
-        self.bounds = tuple(bounds)
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._total_seconds = 0.0
-        self._count = 0
-        self._lock = threading.Lock()
-
-    def record(self, seconds: float) -> None:
-        """Count one observation of ``seconds``."""
-        index = bisect_left(self.bounds, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._total_seconds += seconds
-
-    def snapshot(self) -> dict:
-        """Bucket counts plus totals, as one JSON-ready dict."""
-        with self._lock:
-            return {
-                "bounds": list(self.bounds),
-                "counts": list(self._counts),
-                "count": self._count,
-                "total_seconds": self._total_seconds,
-            }
-
-    @classmethod
-    def merge(cls, snapshots: "Sequence[dict]") -> dict:
-        """Fold several :meth:`snapshot` dicts into one.
-
-        The shard router aggregates per-shard latency this way: bucket
-        counts and totals are additive as long as every snapshot used
-        the same bucket edges.  An empty sequence merges to an empty
-        default-bounds snapshot.
-
-        Raises
-        ------
-        ValueError
-            When the snapshots disagree on bucket bounds.
-        """
-        merged = cls().snapshot()
-        if not snapshots:
-            return merged
-        merged["bounds"] = list(snapshots[0].get("bounds", merged["bounds"]))
-        merged["counts"] = [0] * (len(merged["bounds"]) + 1)
-        for snapshot in snapshots:
-            if list(snapshot["bounds"]) != merged["bounds"]:
-                raise ValueError(
-                    "cannot merge latency histograms with different "
-                    f"bounds: {snapshot['bounds']} vs {merged['bounds']}"
-                )
-            for index, count in enumerate(snapshot["counts"]):
-                merged["counts"][index] += int(count)
-            merged["count"] += int(snapshot["count"])
-            merged["total_seconds"] += float(snapshot["total_seconds"])
-        return merged
-
-
 @dataclass(frozen=True)
 class ServiceStats:
     """Counters exposed by :meth:`PPVService.stats`.
@@ -145,6 +82,9 @@ class ServiceStats:
     ``families`` breaks submissions and latency out per query family:
     ``{name: {"submitted": n, "latency": <histogram snapshot>}}`` for
     every family this service has been asked for.
+
+    Every nested structure here is a deep copy: callers may mutate a
+    snapshot freely without corrupting the live histograms.
     """
 
     submitted: int
@@ -178,15 +118,18 @@ class _CancellableStop:
 
 
 class _BatchJob:
-    __slots__ = ("spec", "handle")
+    __slots__ = ("spec", "handle", "span")
 
     def __init__(self, spec: QuerySpec, handle: QueryHandle) -> None:
         self.spec = spec
         self.handle = handle
+        # The queue-wait span of a traced request (admission → drain);
+        # None whenever the service or the request is untraced.
+        self.span = None
 
 
 class _StreamJob:
-    __slots__ = ("spec", "handle", "out", "cancel")
+    __slots__ = ("spec", "handle", "out", "cancel", "span")
 
     def __init__(
         self,
@@ -199,6 +142,7 @@ class _StreamJob:
         self.handle = handle
         self.out = out
         self.cancel = cancel
+        self.span = None
 
 
 class PPVService:
@@ -223,6 +167,13 @@ class PPVService:
         Tests only: a :class:`repro.faults.FaultPlan` forwarded to the
         scheduler (its ``scheduler.execute`` site).  ``None`` keeps the
         hot path hook-free.
+    obs:
+        A :class:`repro.obs.Observability` bundle.  When given, the
+        service exposes its counters (and the scheduler's, cache's and
+        engine's) through the bundle's metrics registry, honours trace
+        contexts on incoming specs, and records threshold-crossing
+        queries into the bundle's slow-query log.  ``None`` (default)
+        keeps every hook at one ``is not None`` check.
     """
 
     def __init__(
@@ -232,8 +183,10 @@ class PPVService:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: "float | str" = DEFAULT_MAX_DELAY,
         fault_plan=None,
+        obs=None,
     ) -> None:
         self.engine = engine
+        self.obs = obs
         self.cache = PopularityCache(cache_size)
         self._cache_token = None
         self._scheduler = CoalescingScheduler(
@@ -245,6 +198,7 @@ class PPVService:
             # handles instead of silently dropping them.
             on_error=self._fail_jobs,
             fault_plan=fault_plan,
+            obs=obs,
         )
         self.latency = LatencyHistogram()
         self._submitted = 0
@@ -259,6 +213,67 @@ class PPVService:
         # the drain thread.
         self._streams_lock = threading.Lock()
         self._active_streams: set[_StreamJob] = set()
+        if obs is not None:
+            self._install_metrics()
+
+    def _install_metrics(self) -> None:
+        """Publish the service's existing counters through the obs
+        registry as function-backed metrics (read at snapshot time, so
+        the serving hot path pays nothing)."""
+        registry = self.obs.registry
+        registry.counter_func(
+            "repro_queries_submitted_total",
+            "Queries admitted, by family.",
+            self._family_submission_counts,
+            labelnames=("family",),
+        )
+        registry.histogram_func(
+            "repro_request_latency_seconds",
+            "Submit-to-resolve latency over every resolved handle.",
+            self.latency.snapshot,
+        )
+        registry.histogram_func(
+            "repro_family_latency_seconds",
+            "Submit-to-resolve latency, by family.",
+            self._family_latency_snapshots,
+            labelnames=("family",),
+        )
+        registry.counter_func(
+            "repro_cache_hits_total",
+            "Result-cache hits.",
+            lambda: self.cache.hits,
+        )
+        registry.counter_func(
+            "repro_cache_misses_total",
+            "Result-cache misses.",
+            lambda: self.cache.misses,
+        )
+        registry.counter_func(
+            "repro_cache_evictions_total",
+            "Result-cache evictions.",
+            lambda: self.cache.evictions,
+        )
+        registry.gauge_func(
+            "repro_cache_entries",
+            "Results currently cached.",
+            lambda: len(self.cache),
+        )
+        self.obs.observe_engine(self.engine)
+
+    def _family_submission_counts(self) -> dict:
+        with self._family_lock:
+            return {
+                (name,): count
+                for name, count in self._family_submitted.items()
+            }
+
+    def _family_latency_snapshots(self) -> dict:
+        with self._family_lock:
+            histograms = dict(self._family_latency)
+        return {
+            (name,): histogram.snapshot()
+            for name, histogram in histograms.items()
+        }
 
     # ------------------------------------------------------------------ #
     # Construction / lifecycle
@@ -275,6 +290,7 @@ class PPVService:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay: "float | str" = DEFAULT_MAX_DELAY,
         fault_plan=None,
+        obs=None,
         **engine_kwargs,
     ) -> "PPVService":
         """Open a service over an index (memory) or stores (disk).
@@ -311,6 +327,7 @@ class PPVService:
             max_batch=max_batch,
             max_delay=max_delay,
             fault_plan=fault_plan,
+            obs=obs,
         )
 
     def __enter__(self) -> "PPVService":
@@ -357,7 +374,12 @@ class PPVService:
         handle = QueryHandle(spec)
         self._count_submission(spec)
         self._track_latency(handle)
-        self._scheduler.submit(_BatchJob(spec, handle))
+        job = _BatchJob(spec, handle)
+        if self.obs is not None and spec.trace is not None:
+            job.span = self.obs.tracer.start_span(
+                "service.queue", spec.trace, family=spec.family
+            )
+        self._scheduler.submit(job)
         return handle
 
     def query(self, spec: QuerySpec | int):
@@ -382,10 +404,19 @@ class PPVService:
             self._count_submission(spec)
         for handle in handles:
             self._track_latency(handle)
-        self._scheduler.submit_many(
+        jobs = [
             _BatchJob(spec, handle)
             for spec, handle in zip(resolved, handles)
-        )
+        ]
+        if self.obs is not None:
+            tracer = self.obs.tracer
+            for job in jobs:
+                if job.spec.trace is not None:
+                    job.span = tracer.start_span(
+                        "service.queue", job.spec.trace,
+                        family=job.spec.family,
+                    )
+        self._scheduler.submit_many(jobs)
         self._scheduler.kick()
         return [handle.result() for handle in handles]
 
@@ -419,6 +450,10 @@ class PPVService:
         self._count_submission(spec)
         self._track_latency(handle)
         job = _StreamJob(spec, handle, out, cancel)
+        if self.obs is not None and spec.trace is not None:
+            job.span = self.obs.tracer.start_span(
+                "service.queue", spec.trace, family=spec.family
+            )
         with self._streams_lock:
             # Checked under the same lock close() takes before
             # cancelling, so a stream can never slip in between close's
@@ -511,16 +546,44 @@ class PPVService:
 
     def _track_latency(self, handle: QueryHandle) -> None:
         """Record the handle's submit→resolve latency when it resolves
-        (totals plus the per-family breakdown)."""
+        (totals plus the per-family breakdown), and feed the slow-query
+        log when one is configured."""
         started = time.monotonic()
         per_family = self._family_histogram(handle.spec.family)
+        obs = self.obs
 
         def record(_handle) -> None:
             elapsed = time.monotonic() - started
             self.latency.record(elapsed)
             per_family.record(elapsed)
+            if (
+                obs is not None
+                and obs.slow_log is not None
+                and elapsed >= obs.slow_log.threshold
+            ):
+                obs.slow_log.record(self._slow_entry(handle, elapsed))
 
         handle.add_done_callback(record)
+
+    def _slow_entry(self, handle: QueryHandle, elapsed: float) -> dict:
+        """One slow-query log entry: identity, elapsed time, serving
+        breadcrumbs and engine cost counters."""
+        spec = handle.spec
+        entry: dict = {
+            "at": time.time(),
+            "family": spec.family,
+            "nodes": list(spec.nodes),
+            "seconds": elapsed,
+        }
+        if spec.trace is not None:
+            entry["trace"] = spec.trace.trace_id
+        if handle._obs is not None:
+            entry.update(handle._obs)
+        if handle._error is not None:
+            entry["error"] = str(handle._error)
+        else:
+            entry.update(cost_counters(handle._result))
+        return entry
 
     def families(self) -> tuple[str, ...]:
         """Names of the registered families this engine can answer."""
@@ -550,7 +613,11 @@ class PPVService:
             queue_depth=self._scheduler.queue_depth,
             in_flight=self._scheduler.in_flight,
             latency=self.latency.snapshot(),
-            families=family_stats,
+            # snapshot() dicts are already freshly built, but deep-copy
+            # anyway so the immutability guarantee in the ServiceStats
+            # docstring is structural, not incidental — family entries
+            # may grow shared sub-structures in the future.
+            families=copy.deepcopy(family_stats),
         )
 
     # ------------------------------------------------------------------ #
@@ -616,41 +683,109 @@ class PPVService:
         batch_jobs = [job for job in jobs if isinstance(job, _BatchJob)]
         stream_jobs = [job for job in jobs if isinstance(job, _StreamJob)]
 
+        # A coalesced drain serves many requests in one pass, so batch
+        # work (grouping, kernels) belongs to no single trace.  Span
+        # placement: the first traced job's context adopts the
+        # batch-level spans (service.batch + engine.run_group kernels);
+        # every traced job keeps its own service.queue/service.cache
+        # spans, each stamped with the shared batch size.  The batch
+        # span is thread-activated around kernel execution so remote
+        # stores and fault sites reach the trace via current_span().
+        batch_span = None
+        if self.obs is not None:
+            for job in batch_jobs:
+                if job.spec.trace is not None:
+                    batch_span = self.obs.tracer.start_span(
+                        "service.batch", job.spec.trace,
+                        batch_size=len(jobs),
+                    )
+                    break
+        try:
+            if batch_span is not None:
+                with _activate_span(batch_span):
+                    self._serve_batch_jobs(batch_jobs, len(jobs), batch_span)
+            else:
+                self._serve_batch_jobs(batch_jobs, len(jobs), None)
+        finally:
+            if batch_span is not None:
+                batch_span.end()
+
+        for job in stream_jobs:
+            self._run_stream(job)
+
+    def _serve_batch_jobs(
+        self, batch_jobs, drain_size: int, batch_span
+    ) -> None:
         # Group keys are the family's own key prefixed with the family
         # name, so a coalesced drain only ever batches same-family specs
         # together; cache keys get the same prefix, so families can
         # never serve each other's cached results.
+        want_cost_info = (
+            self.obs is not None and self.obs.slow_log is not None
+        )
         plans: list[tuple[_BatchJob, QueryFamily, list[FamilyTask]]] = []
         groups: dict[
             tuple, tuple[QueryFamily, tuple,
                          list[tuple[QuerySpec, FamilyTask]]]
         ] = {}
         for job in batch_jobs:
+            if job.span is not None:
+                job.span.end(batch_size=drain_size)
             family = resolve_family(job.spec.family)
             tasks = family.plan(job.spec)
             plans.append((job, family, tasks))
+            cache_span = None
+            if batch_span is not None and job.spec.trace is not None:
+                cache_span = batch_span.child(
+                    "service.cache", family=family.name
+                )
+            cache_hits = 0
             for task in tasks:
                 key = family.cache_key(job.spec, task)
                 if key is not None:
                     hit = self.cache.get((family.name,) + key)
                     if hit is not None:
                         task.result = hit
+                        cache_hits += 1
                         continue
                 family_key = family.group_key(job.spec, task)
                 full_key = (family.name,) + family_key
                 if full_key not in groups:
                     groups[full_key] = (family, family_key, [])
                 groups[full_key][2].append((job.spec, task))
+            if cache_span is not None:
+                cache_span.end(hits=cache_hits, lookups=len(tasks))
+            if want_cost_info:
+                job.handle._obs = {
+                    "batch_size": drain_size,
+                    "cache_hits": cache_hits,
+                }
 
         group_errors: dict[tuple, BaseException] = {}
         for full_key, (family, family_key, members) in groups.items():
-            try:
-                results = family.run_group(
-                    self.engine, family_key, members
+            kernel_span = None
+            if batch_span is not None:
+                kernel_span = batch_span.child(
+                    "engine.run_group",
+                    family=family.name,
+                    queries=len(members),
                 )
+            try:
+                if kernel_span is not None:
+                    with _activate_span(kernel_span):
+                        results = family.run_group(
+                            self.engine, family_key, members
+                        )
+                else:
+                    results = family.run_group(
+                        self.engine, family_key, members
+                    )
             except BaseException as error:
                 group_errors[full_key] = error
                 continue
+            finally:
+                if kernel_span is not None:
+                    kernel_span.end()
             for (spec, task), result in zip(members, results):
                 task.result = result
                 cache_key = family.cache_key(spec, task)
@@ -682,10 +817,25 @@ class PPVService:
             except BaseException as error:
                 job.handle._set_error(error)
 
-        for job in stream_jobs:
-            self._run_stream(job)
-
     def _run_stream(self, job: _StreamJob) -> None:
+        """Serve one streaming job, under its own trace span when the
+        request was traced (the queue span ends here; a service.stream
+        span is activated around the engine call so remote stores and
+        fault sites attach to it)."""
+        if job.span is not None:
+            job.span.end()
+            span = job.span.tracer.start_span(
+                "service.stream", job.spec.trace, family=job.spec.family
+            )
+            try:
+                with _activate_span(span):
+                    self._run_stream_inner(job)
+            finally:
+                span.end()
+            return
+        self._run_stream_inner(job)
+
+    def _run_stream_inner(self, job: _StreamJob) -> None:
         spec = job.spec
         k = spec.top_k
         stop = _CancellableStop(spec.resolved_stop(), job.cancel)

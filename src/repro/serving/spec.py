@@ -22,6 +22,7 @@ accuracy-aware clients can consume PPVs as they converge.
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -87,6 +88,11 @@ class QuerySpec:
     top_k_budget: int = DEFAULT_TOPK_BUDGET
     family: str = "ppv"
     params: tuple[tuple[str, object], ...] = ()
+    # Observability context (a repro.obs.trace.SpanContext) riding along
+    # with the request.  compare=False keeps it out of __eq__/__hash__,
+    # so traced and untraced twins still share cache entries and
+    # coalescing groups — tracing can never change what is served.
+    trace: object | None = field(default=None, compare=False, repr=False)
 
     def __init__(
         self,
@@ -97,6 +103,7 @@ class QuerySpec:
         top_k_budget: int = DEFAULT_TOPK_BUDGET,
         family: str | None = None,
         params: dict | Sequence[tuple[str, object]] | None = None,
+        trace: object | None = None,
     ) -> None:
         if isinstance(nodes, (int, np.integer)):
             node_tuple: tuple[int, ...] = (int(nodes),)
@@ -150,8 +157,22 @@ class QuerySpec:
         object.__setattr__(self, "top_k_budget", int(top_k_budget))
         object.__setattr__(self, "family", resolved_family)
         object.__setattr__(self, "params", param_tuple)
+        object.__setattr__(self, "trace", trace)
 
     # ------------------------------------------------------------------ #
+
+    def with_trace(self, trace) -> "QuerySpec":
+        """A copy of this spec carrying ``trace`` (a
+        :class:`repro.obs.trace.SpanContext` naming the trace to
+        continue and the span to parent under).
+
+        The copy is equal to (and hashes like) the original — see the
+        ``trace`` field comment — so swapping it in is invisible to the
+        cache and the batch grouper.
+        """
+        clone = copy.copy(self)
+        object.__setattr__(clone, "trace", trace)
+        return clone
 
     @property
     def is_multi(self) -> bool:
@@ -199,7 +220,7 @@ class QueryHandle:
     any execution error).
     """
 
-    __slots__ = ("spec", "_event", "_result", "_error", "_callbacks")
+    __slots__ = ("spec", "_event", "_result", "_error", "_callbacks", "_obs")
 
     def __init__(self, spec: QuerySpec) -> None:
         self.spec = spec
@@ -207,6 +228,9 @@ class QueryHandle:
         self._result = None
         self._error: BaseException | None = None
         self._callbacks: list = []
+        # Serving-cost breadcrumbs (batch size, cache hits) filled in by
+        # an observability-enabled service for the slow-query log.
+        self._obs: dict | None = None
 
     def done(self) -> bool:
         """Whether the result (or an error) is available."""

@@ -42,6 +42,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.prime import PrimePPV
+from repro.obs.trace import current_span
 from repro.server import protocol
 from repro.server.client import (
     ClientTimeout,
@@ -163,36 +164,61 @@ class ShardFleet:
             A shard answered with a structured error (bad request —
             not a liveness problem).
         """
-        results: dict[int, dict] = {}
-        pending: list[tuple[int, object]] = []
-        failed: list[int] = []
-        for shard, body in bodies.items():
-            if self.fault_plan is not None:
-                self.fault_plan.fire(
-                    "router.dispatch",
-                    shard=shard,
-                    verb=body.get("verb", "query"),
+        # When a traced batch/kernel span is active on this thread,
+        # each shard's round-trip gets a child span and the request
+        # carries the child's context so the shard-side server joins
+        # the same trace.  Untraced path: one thread-local read, no
+        # body copies.
+        parent = current_span()
+        spans: dict[int, object] = {}
+        sent = bodies
+        if parent is not None:
+            sent = {}
+            for shard, body in bodies.items():
+                span = parent.child(
+                    "shard." + str(body.get("verb", "query")), shard=shard
                 )
-            try:
-                client = self._client(shard)
-                prepared, request_id = client._prepare(dict(body))
-                client.send_raw(protocol.encode(prepared))
-                pending.append((shard, request_id))
-            except _TRANSPORT_ERRORS:
-                failed.append(shard)
-        for shard, request_id in pending:
-            client = self._clients[shard]
-            try:
+                spans[shard] = span
+                body = dict(body)
+                body["trace"] = protocol.trace_field(span.context())
+                sent[shard] = body
+        try:
+            results: dict[int, dict] = {}
+            pending: list[tuple[int, object]] = []
+            failed: list[int] = []
+            for shard, body in sent.items():
                 if self.fault_plan is not None:
-                    self.fault_plan.fire("shard.recv", shard=shard)
-                results[shard] = client._unwrap(
-                    client._read_reply(request_id)
-                )
-            except _TRANSPORT_ERRORS:
-                failed.append(shard)
-        for shard in failed:
-            results[shard] = self._retry(shard, bodies[shard])
-        return results
+                    self.fault_plan.fire(
+                        "router.dispatch",
+                        shard=shard,
+                        verb=body.get("verb", "query"),
+                    )
+                try:
+                    client = self._client(shard)
+                    prepared, request_id = client._prepare(dict(body))
+                    client.send_raw(protocol.encode(prepared))
+                    pending.append((shard, request_id))
+                except _TRANSPORT_ERRORS:
+                    failed.append(shard)
+            for shard, request_id in pending:
+                client = self._clients[shard]
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.fire("shard.recv", shard=shard)
+                    results[shard] = client._unwrap(
+                        client._read_reply(request_id)
+                    )
+                except _TRANSPORT_ERRORS:
+                    failed.append(shard)
+            for shard in failed:
+                span = spans.get(shard)
+                if span is not None:
+                    span.set(retried=True)
+                results[shard] = self._retry(shard, sent[shard])
+            return results
+        finally:
+            for span in spans.values():
+                span.end()
 
     def request(self, shard: int, body: dict) -> dict:
         """One shard's round-trip with the fleet's retry semantics."""

@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, Observability
 from repro.serving.engines import DiskEngine, register_backend
 from repro.serving.service import DEFAULT_CACHE_SIZE, LatencyHistogram, PPVService
 from repro.server.client import ServerError
@@ -203,7 +204,25 @@ class RouterEngine(DiskEngine):
             self._bootstrap_locked()
 
     # ------------------------------------------------------------------ #
-    # Stats
+    # Stats + traces
+
+    def trace_spans(
+        self, trace_id: "str | None" = None, limit: "int | None" = None
+    ) -> list:
+        """Fan the ``trace`` verb to every shard and concatenate the
+        replies' spans (the caller merges in its own tracer's spans and
+        sorts)."""
+        body: dict = {"verb": "trace"}
+        if trace_id is not None:
+            body["trace_id"] = str(trace_id)
+        if limit is not None:
+            body["limit"] = int(limit)
+        with self._lock:
+            replies = self.fleet.request_all(body)
+        spans: list = []
+        for shard in range(self.fleet.num_shards):
+            spans.extend(replies[shard].get("spans", ()))
+        return spans
 
     def shard_stats(self) -> dict:
         """Fan ``stats`` to every shard and aggregate.
@@ -261,7 +280,7 @@ class RouterEngine(DiskEngine):
                     [s["latency"] for s in shards_with]
                 ),
             }
-        return {
+        stats = {
             "num_shards": self.fleet.num_shards,
             "per_shard": per_shard,
             "latency": LatencyHistogram.merge(
@@ -270,6 +289,17 @@ class RouterEngine(DiskEngine):
             "fetch_balance": (max(fetches) / mean) if mean else 1.0,
             "families": families,
         }
+        # Obs-enabled shards export full registry snapshots; sum them
+        # into one fleet-wide view.  A shard running without obs simply
+        # contributes nothing.
+        snapshots = [
+            replies[shard]["metrics"]
+            for shard in range(self.fleet.num_shards)
+            if "metrics" in replies[shard]
+        ]
+        if snapshots:
+            stats["metrics"] = MetricsRegistry.merge(snapshots)
+        return stats
 
     def close(self) -> None:
         self.ppv_store.close()
@@ -316,6 +346,12 @@ class ShardRouter:
         port on ``shard_host``.
     cache_size:
         The router service's popularity cache.
+    obs:
+        The router-side :class:`~repro.obs.Observability` bundle; a
+        fresh one by default, so every ``ShardRouter`` serves metrics,
+        traces and (when configured) a slow-query log out of the box.
+        Pass ``obs=False`` to run uninstrumented (shard workers
+        included).
     engine_kwargs:
         Forwarded to :class:`RouterEngine` (``timeout``, ``kernel``,
         ``delta``, ``cache_hubs``, ...).
@@ -340,6 +376,7 @@ class ShardRouter:
         max_batch: int | None = None,
         max_delay=None,
         fault_plan=None,
+        obs=None,
         **engine_kwargs,
     ) -> None:
         if workers_per_shard < 1:
@@ -348,6 +385,10 @@ class ShardRouter:
         self.workers_per_shard = workers_per_shard
         self.config = config or ServerConfig()
         self.shard_host = shard_host
+        if obs is False:
+            self.obs = None
+        else:
+            self.obs = obs if obs is not None else Observability()
         self.service_kwargs: dict = {"cache_size": cache_size}
         if max_batch is not None:
             self.service_kwargs["max_batch"] = max_batch
@@ -368,7 +409,9 @@ class ShardRouter:
             raise RuntimeError("router already started")
         for entry in self.manifest["shards"]:
             pool = ServerPool(
-                shard_service_factory(self.root / entry["dir"]),
+                shard_service_factory(
+                    self.root / entry["dir"], obs=self.obs is not None
+                ),
                 workers=self.workers_per_shard,
                 config=ServerConfig(host=self.shard_host, port=0),
             )
@@ -379,7 +422,7 @@ class ShardRouter:
             fault_plan=self.fault_plan,
             **self.engine_kwargs,
         )
-        self.service = PPVService(engine, **self.service_kwargs)
+        self.service = PPVService(engine, obs=self.obs, **self.service_kwargs)
 
     def start(self) -> tuple:
         """Spawn the shard pools and the router (on a background

@@ -197,20 +197,31 @@ class ShardEngine:
             old.close()
 
 
-def shard_service_factory(shard_dir, *, fault_plan=None):
+def shard_service_factory(shard_dir, *, fault_plan=None, obs=True):
     """A zero-argument ``PPVService`` factory for one shard directory —
     the shape :class:`~repro.server.pool.ServerPool` wants.
 
     The service carries no result cache (a shard never serves results)
-    and opens its stores inside the worker, after the fork.
+    and opens its stores inside the worker, after the fork.  With
+    ``obs`` (the default) each worker builds its own
+    :class:`~repro.obs.Observability` post-fork, so the shard exports
+    store counters in ``stats`` and continues router traces; pass
+    ``obs=False`` to strip instrumentation entirely.
     """
     shard_dir = Path(shard_dir)
 
     def factory():
         from repro.serving.service import PPVService
 
+        observability = None
+        if obs:
+            from repro.obs import Observability
+
+            observability = Observability()
         return PPVService(
-            ShardEngine(shard_dir, fault_plan=fault_plan), cache_size=0
+            ShardEngine(shard_dir, fault_plan=fault_plan),
+            cache_size=0,
+            obs=observability,
         )
 
     return factory

@@ -153,6 +153,7 @@ class DiskGraphStore:
         self.memory_budget = memory_budget
         self.fault_plan = fault_plan
         self.faults = 0
+        self.bytes_read = 0
         # LRU cache: cluster id -> (adjacency dict, per-node list cache),
         # most recent last.  The list cache holds plain-Python spellings
         # of adjacency rows for the push's per-edge hot loop; it lives
@@ -221,6 +222,7 @@ class DiskGraphStore:
         self.memory_budget = memory_budget
         self.fault_plan = fault_plan
         self.faults = 0
+        self.bytes_read = 0
         self._cache = {}
         # Manifests predating partial stores have no "clusters" entry:
         # they stored every cluster.
@@ -278,6 +280,7 @@ class DiskGraphStore:
             )
         if self.fault_plan is not None:
             self.fault_plan.fire("graph_store.load", cluster=int(cluster))
+        self.bytes_read += self._bytes_per_cluster[cluster]
         with np.load(self._cluster_path(cluster)) as data:
             return {key: data[key] for key in data.files}
 

@@ -105,6 +105,7 @@ class DiskPPVStore:
             )
             self._directory[hub] = (offset, entries, borders)
         self.reads = 0
+        self.bytes_read = 0
         hub_mask = np.zeros(self.num_nodes, dtype=bool)
         hub_mask[list(self._directory)] = True
         self.hub_mask = hub_mask
@@ -145,6 +146,7 @@ class DiskPPVStore:
         offset, entries, borders = self._directory[int(hub)]
         self._handle.seek(offset)
         payload = self._handle.read(16 * entries + 16 * borders)
+        self.bytes_read += len(payload)
         nodes = np.frombuffer(payload, dtype="<i8", count=entries, offset=0)
         scores = np.frombuffer(payload, dtype="<f8", count=entries, offset=8 * entries)
         border_hubs = np.frombuffer(
